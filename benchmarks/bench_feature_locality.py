@@ -1,0 +1,109 @@
+"""E6 — feature locality: adding a socket feature touches only the NIU.
+
+Paper §2's two-question process: (1) does the feature need NIU state? →
+add a state-table field; (2) does it need information between NIUs? → add
+a packet user bit.  "Since neither adding bits to the packets nor state
+in the NIUs impacts transaction or physical layers, supporting
+VC-specific features in the NoC only impacts the corresponding NIU."
+
+This bench *measures* which configuration artifacts change when features
+are added, and contrasts the one-bit exclusive-access service with the
+transport-leaking LOCK service.
+"""
+
+import pytest
+
+from repro.core.layer import build_layer_config
+from repro.core.packet import UserBit
+from repro.core.services import NocService
+
+
+def artifact_snapshot(cfg):
+    """Every separately-owned configuration artifact of the stack."""
+    fmt = cfg.packet_format
+    return {
+        "packet_header_bits": fmt.header_bits(),
+        "packet_user_bits": tuple(b.name for b in fmt.user_bits),
+        "slv_addr_bits": fmt.slv_addr_bits,
+        "mst_addr_bits": fmt.mst_addr_bits,
+        "tag_bits": fmt.tag_bits,
+        "services": tuple(sorted(s.value for s in cfg.services)),
+        "transport_support": tuple(
+            s.value for s in cfg.requires_transport_support()
+        ),
+    }
+
+
+def diff(before, after):
+    return {k: (before[k], after[k]) for k in before if before[k] != after[k]}
+
+
+def test_e6_exclusive_access_cost(benchmark, heading):
+    heading("E6: cost of adding AXI/OCP exclusive access to an AHB/VCI NoC")
+    before = build_layer_config(["AHB", "BVCI"], initiators=4, targets=4)
+    after = build_layer_config(["AHB", "BVCI", "AXI", "OCP"],
+                               initiators=6, targets=4)
+    # Hold node counts equal to isolate the feature cost:
+    after_iso = build_layer_config(["AHB", "BVCI", "AXI", "OCP"],
+                                   initiators=4, targets=4)
+    changed = diff(artifact_snapshot(before), artifact_snapshot(after_iso))
+    print("changed artifacts:")
+    for key, (b, a) in changed.items():
+        print(f"  {key}: {b} -> {a}")
+    assert set(changed) == {
+        "packet_header_bits", "packet_user_bits", "services",
+    }
+    delta_bits = (
+        after_iso.packet_format.header_bits()
+        - before.packet_format.header_bits()
+    )
+    print(f"header growth: {delta_bits} bit(s)")
+    assert delta_bits == 1  # the paper's single user-defined bit
+    assert after_iso.requires_transport_support() == \
+        before.requires_transport_support()  # transport untouched
+    benchmark(lambda: build_layer_config(
+        ["AHB", "BVCI", "AXI", "OCP"], initiators=4, targets=4
+    ))
+
+
+def test_e6_lock_is_the_exception(heading):
+    heading("E6b: the LOCK family is the one feature that leaks below")
+    no_lock = build_layer_config(["OCP", "AXI"], initiators=4, targets=4)
+    with_lock = build_layer_config(["OCP", "AXI", "AHB"],
+                                   initiators=4, targets=4)
+    print(f"without AHB: transport services = "
+          f"{[s.value for s in no_lock.requires_transport_support()]}")
+    print(f"with AHB:    transport services = "
+          f"{[s.value for s in with_lock.requires_transport_support()]}")
+    assert no_lock.requires_transport_support() == []
+    assert with_lock.requires_transport_support() == [NocService.LEGACY_LOCK]
+    # ...and yet it costs zero packet bits (it rides on opcodes).
+    assert (with_lock.packet_format.header_bits()
+            == no_lock.packet_format.header_bits())
+
+
+def test_e6_arbitrary_feature_addition(heading):
+    heading("E6c: adding a hypothetical socket feature (posted-write ack)")
+    before = build_layer_config(["OCP"], initiators=2, targets=2)
+    after = build_layer_config(
+        ["OCP"], initiators=2, targets=2,
+        extra_user_bits=[UserBit("posted_ack", 1,
+                                 "ack side-band for posted writes")],
+    )
+    changed = diff(artifact_snapshot(before), artifact_snapshot(after))
+    print("changed artifacts:", sorted(changed))
+    assert set(changed) == {"packet_header_bits", "packet_user_bits"}
+    assert after.packet_format.header_bits() == \
+        before.packet_format.header_bits() + 1
+
+
+def test_e6_proprietary_fence_is_niu_only(heading):
+    heading("E6d: the MsgPort FENCE costs no packet bits at all")
+    without = build_layer_config(["AHB"], initiators=2, targets=2)
+    with_msg = build_layer_config(["AHB", "PROPRIETARY"],
+                                  initiators=2, targets=2)
+    assert (with_msg.packet_format.header_bits()
+            == without.packet_format.header_bits())
+    assert with_msg.services == without.services
+    print("FENCE support changed: NIU behaviour only "
+          "(drain state table, ack locally) — zero config artifacts")

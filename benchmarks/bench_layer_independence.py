@@ -1,0 +1,79 @@
+"""E5 — layer independence: switching mode invisible above transport.
+
+Paper §1: "wormhole or store-and-forward packet handling makes no
+difference at the transaction level".  The same seeded workload runs
+under all three switching modes; the transaction fingerprint (completion
+counts, error counts, final memory images) must be identical while
+transport metrics (cycles, flits, buffering) differ.
+"""
+
+import pytest
+
+from benchmarks.conftest import build_noc, mixed_initiators, mixed_targets
+from repro.transport.switching import SwitchingMode
+
+
+def run(mode):
+    soc = build_noc(mixed_initiators(count=30), mixed_targets(),
+                    mode=mode, buffer_capacity=16)
+    cycles = soc.run_to_completion(max_cycles=500_000)
+    fingerprint = (
+        {name: (m.completed, m.errors, m.exokay, m.excl_failures)
+         for name, m in soc.masters.items()},
+        soc.memory_image(),
+    )
+    return {
+        "cycles": cycles,
+        "fingerprint": fingerprint,
+        "flits": soc.fabric.total_flits_forwarded(),
+        "latency": soc.aggregate_latency(),
+    }
+
+
+def test_e5_switching_mode_transparency(benchmark, heading):
+    heading("E5: switching modes — identical transactions, different transport")
+    results = {mode: run(mode) for mode in SwitchingMode}
+    print(f"{'mode':<22}{'cycles':>8}{'flits':>8}{'mean lat':>10}"
+          f"{'p95 lat':>9}")
+    for mode, r in results.items():
+        print(f"{mode.value:<22}{r['cycles']:>8}{r['flits']:>8}"
+              f"{r['latency']['mean']:>10.1f}{r['latency']['p95']:>9.0f}")
+
+    fingerprints = [r["fingerprint"] for r in results.values()]
+    assert fingerprints[0] == fingerprints[1] == fingerprints[2], (
+        "transaction-level results must not depend on the switching mode"
+    )
+    # ... while the transport level is genuinely different:
+    wormhole = results[SwitchingMode.WORMHOLE]
+    saf = results[SwitchingMode.STORE_AND_FORWARD]
+    assert saf["latency"]["mean"] > wormhole["latency"]["mean"]
+
+    benchmark.extra_info["cycles_by_mode"] = {
+        m.value: r["cycles"] for m, r in results.items()
+    }
+    benchmark(lambda: run(SwitchingMode.WORMHOLE)["cycles"])
+
+
+def test_e5_routing_and_arbiter_transparency(benchmark, heading):
+    heading("E5b: routing scheme and arbiter are also transaction-invisible")
+    variants = {
+        "table+priority": dict(routing="table", arbiter="priority"),
+        "xy+priority": dict(routing="xy", arbiter="priority"),
+        "table+age": dict(routing="table", arbiter="age"),
+        "table+rr": dict(routing="table", arbiter="round-robin"),
+    }
+    fingerprints = {}
+    for label, kwargs in variants.items():
+        soc = build_noc(mixed_initiators(count=25), mixed_targets(), **kwargs)
+        cycles = soc.run_to_completion(max_cycles=500_000)
+        fingerprints[label] = (
+            {name: m.completed for name, m in soc.masters.items()},
+            soc.memory_image(),
+        )
+        print(f"{label:<18}{cycles:>8} cycles")
+    reference = fingerprints["table+priority"]
+    for label, fp in fingerprints.items():
+        assert fp == reference, f"{label} changed transaction-level results"
+    benchmark(lambda: build_noc(
+        mixed_initiators(count=10), mixed_targets(), routing="xy"
+    ).run_to_completion(max_cycles=500_000))

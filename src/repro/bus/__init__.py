@@ -1,0 +1,29 @@
+"""The Fig-2 baseline: a reference-socket shared bus with bridges.
+
+"In practice … the interconnect has its own reference socket standard.
+Bridges to the reference standard are used [to] plug the IP blocks"
+(paper §2).  This package models that usual system:
+
+- :mod:`repro.bus.shared_bus` — an AHB-flavoured multi-master shared bus
+  (single transfer in flight, bus-level locking, bounded bursts);
+- :mod:`repro.bus.bridge` — per-protocol bridges that serialize, split
+  and downgrade socket transactions into the reference protocol, paying
+  area and latency and *losing features* (claim C1);
+- :mod:`repro.bus.coverage` — the feature-coverage matrices quantifying
+  which VC transactions survive a bridge vs. an NIU (benchmark E8).
+"""
+
+from repro.bus.bridge import Bridge
+from repro.bus.coverage import FeatureSupport, coverage_matrix, coverage_score
+from repro.bus.shared_bus import SharedBus
+from repro.bus.system import BusSoc, build_bus_soc
+
+__all__ = [
+    "Bridge",
+    "BusSoc",
+    "FeatureSupport",
+    "SharedBus",
+    "build_bus_soc",
+    "coverage_matrix",
+    "coverage_score",
+]

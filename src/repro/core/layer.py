@@ -1,0 +1,131 @@
+"""Per-SoC transaction-layer configuration.
+
+Paper §2: "transactions can be customized to the actual set of VCs that
+plug into the NoC, without altering the transport and physical layers".
+:func:`build_layer_config` is that customization step: it inspects the
+socket families attached to a NoC instance and derives
+
+- the set of :class:`~repro.core.services.NocService` to activate,
+- the resulting :class:`~repro.core.packet.PacketFormat` (base header +
+  the user bits those services need),
+- sizing parameters (tag bits from the largest outstanding-transaction
+  budget, slv/mst address bits from the number of nodes).
+
+Benchmark E6 (feature locality) measures exactly which of these artifacts
+change when a new socket feature is added — the paper's claim is that the
+answer is "the NIU and possibly a packet user bit, nothing else".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from repro.core.packet import PacketFormat, UserBit
+from repro.core.services import NocService
+
+#: Which services each socket family requires from the transaction layer.
+#: AXI masters may issue exclusive accesses; OCP masters lazy
+#: synchronization (same service); AHB masters legacy LOCKed sequences.
+PROTOCOL_SERVICES: Dict[str, Set[NocService]] = {
+    "AHB": {NocService.LEGACY_LOCK},
+    "AXI": {NocService.EXCLUSIVE_ACCESS},
+    "OCP": {NocService.EXCLUSIVE_ACCESS},
+    "PVCI": set(),
+    "BVCI": set(),
+    "AVCI": set(),
+    "PROPRIETARY": set(),
+}
+
+
+def _bits_for(count: int) -> int:
+    """Minimum field width to encode ``count`` distinct values (min 1)."""
+    return max(1, math.ceil(math.log2(max(2, count))))
+
+
+@dataclass
+class TransactionLayerConfig:
+    """One NoC instance's transaction-layer configuration."""
+
+    protocols: List[str]
+    services: Set[NocService]
+    packet_format: PacketFormat
+    initiators: int
+    targets: int
+    max_outstanding: int
+
+    def requires_transport_support(self) -> List[NocService]:
+        """Services that leak below the transaction layer (LOCK only)."""
+        return sorted(
+            (s for s in self.services if s.touches_transport),
+            key=lambda s: s.value,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"TransactionLayer(protocols={sorted(set(self.protocols))}, "
+            f"services={sorted(s.value for s in self.services)}, "
+            f"{self.packet_format.describe()})"
+        )
+
+
+def build_layer_config(
+    protocols: Iterable[str],
+    initiators: int,
+    targets: int,
+    max_outstanding: int = 8,
+    extra_services: Iterable[NocService] = (),
+    extra_user_bits: Iterable[UserBit] = (),
+) -> TransactionLayerConfig:
+    """Derive the transaction-layer configuration for a set of sockets.
+
+    Parameters
+    ----------
+    protocols:
+        Socket family names of every NIU attached to this NoC
+        (e.g. ``["AHB", "AXI", "OCP"]``).  Unknown names raise KeyError so
+        configuration errors surface at build time, not mid-simulation.
+    initiators, targets:
+        Node counts, used to size MstAddr/SlvAddr fields.
+    max_outstanding:
+        Largest simultaneously-outstanding transaction budget of any NIU;
+        sizes the Tag field.
+    extra_services, extra_user_bits:
+        Hooks for the feature-locality experiment (E6): adding a new
+        socket feature means passing one more entry here and touching the
+        corresponding NIU — nothing else.
+    """
+    protocol_list = [p.upper() for p in protocols]
+    services: Set[NocService] = set(extra_services)
+    for protocol in protocol_list:
+        try:
+            services |= PROTOCOL_SERVICES[protocol]
+        except KeyError:
+            raise KeyError(
+                f"unknown protocol family {protocol!r}; known: "
+                f"{sorted(PROTOCOL_SERVICES)}"
+            ) from None
+
+    # SlvAddr/MstAddr carry NoC node addresses; initiator and target NIUs
+    # share one endpoint numbering space, so both fields must span it.
+    node_bits = _bits_for(initiators + targets)
+    fmt = PacketFormat(
+        slv_addr_bits=node_bits,
+        mst_addr_bits=node_bits,
+        tag_bits=_bits_for(max_outstanding),
+    )
+    for service in sorted(services, key=lambda s: s.value):
+        for bit in service.packet_bits:
+            fmt = fmt.with_user_bit(bit)
+    for bit in extra_user_bits:
+        fmt = fmt.with_user_bit(bit)
+
+    return TransactionLayerConfig(
+        protocols=protocol_list,
+        services=services,
+        packet_format=fmt,
+        initiators=initiators,
+        targets=targets,
+        max_outstanding=max_outstanding,
+    )

@@ -1,0 +1,210 @@
+"""NoC services — optional transaction-layer features (paper §3).
+
+The paper contrasts two synchronization families:
+
+- **Legacy blocking**: READEX / LOCK.  These *impact the transport level*:
+  switches must take specific decisions when they see LOCK-related
+  packets (a path through the fabric is held for one master).
+  :class:`LockManager` models the target-side lock state; the transport
+  layer's routers additionally reserve the locked path (see
+  :mod:`repro.transport.router`).
+
+- **Non-blocking exclusive**: AXI "exclusive access" and OCP "lazy
+  synchronization".  Handling these "only requires adding a single
+  user-defined bit in the packets, and state information in the NIU".
+  :class:`ExclusiveMonitor` is that state: a reservation table at the
+  target NIU, keyed by initiator, granting EXOKAY to an exclusive store
+  only if the reservation still stands.
+
+Both are *services*: a NoC configuration activates them only when an
+attached socket needs them (:mod:`repro.core.layer`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.packet import UserBit
+
+#: The paper's single optional packet bit for exclusive accesses.
+EXCL_USER_BIT = UserBit(
+    name="excl",
+    width=1,
+    description="AXI exclusive access / OCP lazy synchronization marker",
+)
+
+#: Urgency side-band used by the QoS experiments (not in the paper's list,
+#: included to show the 'family of similar NoC services' is open-ended).
+URGENCY_USER_BIT = UserBit(
+    name="urgency",
+    width=2,
+    description="dynamic QoS boost requested by the initiator NIU",
+)
+
+
+class NocService(enum.Enum):
+    """Activatable transaction-layer services."""
+
+    EXCLUSIVE_ACCESS = "EXCLUSIVE_ACCESS"  # one packet bit + NIU state
+    LEGACY_LOCK = "LEGACY_LOCK"  # transport-level path locking
+    URGENCY = "URGENCY"  # QoS boost side-band
+
+    @property
+    def packet_bits(self) -> List[UserBit]:
+        """User bits this service adds to the packet format."""
+        if self is NocService.EXCLUSIVE_ACCESS:
+            return [EXCL_USER_BIT]
+        if self is NocService.URGENCY:
+            return [URGENCY_USER_BIT]
+        return []  # LEGACY_LOCK rides on dedicated opcodes, not user bits
+
+    @property
+    def touches_transport(self) -> bool:
+        """Paper §3: only the LOCK family leaks below the transaction layer."""
+        return self is NocService.LEGACY_LOCK
+
+
+class ExclusiveResult(enum.Enum):
+    """Outcome of an exclusive store at the monitor."""
+
+    EXOKAY = "EXOKAY"  # reservation held — store performed
+    OKAY_FAILED = "OKAY_FAILED"  # reservation lost — store NOT performed
+
+
+@dataclass
+class _Reservation:
+    address: int
+    span: int
+    cycle: int
+
+
+@dataclass
+class ExclusiveMonitor:
+    """Per-target exclusive-access reservation table (NIU state).
+
+    Semantics follow AXI: an exclusive load establishes a reservation for
+    ``(initiator, address-range)``; any store by *another* initiator that
+    overlaps the range kills the reservation; an exclusive store succeeds
+    (EXOKAY) only if the initiator's reservation is still alive, and
+    clears it either way.  ``max_reservations`` bounds the table, which is
+    what the gate-count model charges for.
+    """
+
+    name: str = "excl-monitor"
+    max_reservations: int = 16
+    _table: Dict[int, _Reservation] = field(default_factory=dict)
+    grants: int = 0
+    failures: int = 0
+    evictions: int = 0
+
+    def exclusive_load(
+        self, initiator: int, address: int, span: int, cycle: int
+    ) -> None:
+        """Record a reservation (replacing the initiator's previous one)."""
+        if span < 1:
+            raise ValueError("reservation span must be >= 1 byte")
+        if (
+            initiator not in self._table
+            and len(self._table) >= self.max_reservations
+        ):
+            # Capacity eviction: drop the oldest reservation.  Real
+            # monitors simply fail the evicted master's later exclusive
+            # store, which is what this produces.
+            oldest = min(self._table.items(), key=lambda kv: kv[1].cycle)
+            del self._table[oldest[0]]
+            self.evictions += 1
+        self._table[initiator] = _Reservation(address=address, span=span, cycle=cycle)
+
+    def observe_store(self, initiator: int, address: int, span: int) -> None:
+        """Any ordinary store snoops the table and kills overlapping entries."""
+        dead = [
+            other
+            for other, res in self._table.items()
+            if other != initiator and _overlaps(res, address, span)
+        ]
+        for other in dead:
+            del self._table[other]
+
+    def exclusive_store(
+        self, initiator: int, address: int, span: int
+    ) -> ExclusiveResult:
+        """Attempt the exclusive store; the reservation is consumed."""
+        res = self._table.pop(initiator, None)
+        if res is not None and _overlaps(res, address, span):
+            # A successful exclusive store also invalidates everyone
+            # else's overlapping reservations (it is a store).
+            self.observe_store(initiator, address, span)
+            self.grants += 1
+            return ExclusiveResult.EXOKAY
+        self.failures += 1
+        return ExclusiveResult.OKAY_FAILED
+
+    def has_reservation(self, initiator: int) -> bool:
+        return initiator in self._table
+
+    @property
+    def live_reservations(self) -> int:
+        return len(self._table)
+
+
+def _overlaps(res: _Reservation, address: int, span: int) -> bool:
+    return address < res.address + res.span and res.address < address + span
+
+
+class LockError(RuntimeError):
+    """Illegal lock usage (unlock without lock, double lock...)."""
+
+
+@dataclass
+class LockManager:
+    """Target-side state for legacy LOCK/READEX blocking synchronization.
+
+    While an initiator holds the lock, every other initiator's request at
+    this target is stalled — the blocking behaviour the paper says newer
+    exclusive accesses were introduced to avoid.  The transport-level half
+    (path reservation through switches) is modelled in the router.
+    """
+
+    name: str = "lock-manager"
+    holder: Optional[int] = None
+    acquisitions: int = 0
+    blocked_cycles: int = 0
+    _waiters: Set[int] = field(default_factory=set)
+
+    @property
+    def locked(self) -> bool:
+        return self.holder is not None
+
+    def may_proceed(self, initiator: int) -> bool:
+        """Whether a request from ``initiator`` may access the target now."""
+        return self.holder is None or self.holder == initiator
+
+    def acquire(self, initiator: int) -> bool:
+        """Try to take the lock; False means the caller must retry/stall."""
+        if self.holder is None:
+            self.holder = initiator
+            self.acquisitions += 1
+            self._waiters.discard(initiator)
+            return True
+        if self.holder == initiator:
+            raise LockError(f"{self.name}: initiator {initiator} double-lock")
+        self._waiters.add(initiator)
+        return False
+
+    def release(self, initiator: int) -> None:
+        if self.holder != initiator:
+            raise LockError(
+                f"{self.name}: initiator {initiator} releasing lock held by "
+                f"{self.holder}"
+            )
+        self.holder = None
+
+    def note_blocked(self, count: int = 1) -> None:
+        """Bench hook: accumulate cycles other masters spent stalled."""
+        self.blocked_cycles += count
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)

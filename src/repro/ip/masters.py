@@ -1,0 +1,123 @@
+"""Workload presets — the IP blocks a DATE-2005 SoC would contain.
+
+Each preset returns a traffic source tuned to the access pattern of the
+IP class it names; the SoC builder pairs it with whichever socket
+protocol that IP "ships" with.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ip.traffic import (
+    DependentTraffic,
+    PoissonTraffic,
+    StreamTraffic,
+    SyncWorkload,
+)
+
+
+def cpu_workload(
+    name: str,
+    address_ranges: List[Tuple[int, int]],
+    count: int = 200,
+    seed: int = 1,
+    think_cycles: int = 2,
+) -> DependentTraffic:
+    """CPU-like: dependent accesses, mostly reads, short think time."""
+    return DependentTraffic(
+        name=name,
+        seed=seed,
+        count=count,
+        address_ranges=address_ranges,
+        think_cycles=think_cycles,
+        read_fraction=0.8,
+    )
+
+
+def dma_workload(
+    name: str,
+    base: int,
+    bytes_total: int = 4096,
+    burst_beats: int = 8,
+    write: bool = True,
+    posted: bool = False,
+) -> StreamTraffic:
+    """DMA-like: long back-to-back INCR bursts over a buffer."""
+    return StreamTraffic(
+        name=name,
+        base=base,
+        bytes_total=bytes_total,
+        burst_beats=burst_beats,
+        write=write,
+        posted=posted,
+    )
+
+
+def video_workload(
+    name: str,
+    base: int,
+    bytes_total: int = 8192,
+    burst_beats: int = 8,
+    priority: int = 2,
+    gap_cycles: int = 4,
+) -> StreamTraffic:
+    """Latency-critical streaming reads (display controller): high
+    priority, periodic bursts — the QoS experiment's foreground flow."""
+    return StreamTraffic(
+        name=name,
+        base=base,
+        bytes_total=bytes_total,
+        burst_beats=burst_beats,
+        write=False,
+        priority=priority,
+        gap_cycles=gap_cycles,
+    )
+
+
+def random_workload(
+    name: str,
+    address_ranges: List[Tuple[int, int]],
+    count: int = 200,
+    seed: int = 7,
+    rate: float = 0.25,
+    threads: int = 1,
+    tags: int = 1,
+    burst_beats: Tuple[int, ...] = (1, 4),
+    read_fraction: float = 0.6,
+    priority: int = 0,
+) -> PoissonTraffic:
+    """Background best-effort mix (bus masters, peripherals)."""
+    return PoissonTraffic(
+        name=name,
+        seed=seed,
+        count=count,
+        address_ranges=address_ranges,
+        rate=rate,
+        read_fraction=read_fraction,
+        burst_beats=burst_beats,
+        threads=threads,
+        tags=tags,
+        priority=priority,
+    )
+
+
+def sync_workload(
+    name: str,
+    style: str,
+    sema_addr: int,
+    work_addr: int,
+    iterations: int = 4,
+    work_ops: int = 3,
+    seed: int = 0,
+) -> SyncWorkload:
+    """Semaphore-protected critical sections (benchmark E3)."""
+    return SyncWorkload(
+        name=name,
+        style=style,
+        sema_addr=sema_addr,
+        work_addr=work_addr,
+        iterations=iterations,
+        work_ops=work_ops,
+        seed=seed,
+    )

@@ -1,0 +1,396 @@
+"""Traffic sources: the abstract intent streams masters execute.
+
+Every source implements the :class:`~repro.protocols.base.TrafficSource`
+protocol: ``poll(cycle)`` hands out the next intent when ready,
+``notify_complete`` lets closed-loop sources react to completions (and to
+exclusive-access failures), ``done()`` signals exhaustion.
+
+All randomness is seeded ``random.Random`` — identical runs reproduce
+identical intent streams, which the layer-independence experiment (E5)
+relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.transaction import (
+    BurstType,
+    Opcode,
+    ResponseStatus,
+    Transaction,
+    make_read,
+    make_write,
+)
+
+
+class ScriptedTraffic:
+    """Issue a fixed list of intents in order, as fast as accepted."""
+
+    def __init__(self, intents: Iterable[Transaction]) -> None:
+        self._intents: List[Transaction] = list(intents)
+        self._next = 0
+        self.completions: List[Tuple[int, int, ResponseStatus]] = []
+
+    def poll(self, cycle: int) -> Optional[Transaction]:
+        if self._next >= len(self._intents):
+            return None
+        txn = self._intents[self._next]
+        self._next += 1
+        return txn
+
+    def done(self) -> bool:
+        return self._next >= len(self._intents)
+
+    def notify_complete(
+        self, txn_id: int, cycle: int, status: ResponseStatus
+    ) -> None:
+        self.completions.append((txn_id, cycle, status))
+
+
+class PoissonTraffic:
+    """Open-loop random traffic with a Bernoulli-per-cycle injection rate.
+
+    Parameters
+    ----------
+    rate:
+        Probability of wanting to inject each cycle (offered load knob).
+    address_ranges:
+        ``(base, size)`` windows the source targets, chosen uniformly.
+    read_fraction:
+        Probability an intent is a read.
+    burst_beats:
+        Candidate burst lengths, chosen uniformly.
+    threads / tags:
+        Spread for ``txn.thread`` / ``txn.txn_tag`` (protocol-dependent
+        meaning: OCP ThreadID, AXI/AVCI ID).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        count: int,
+        address_ranges: List[Tuple[int, int]],
+        rate: float = 0.2,
+        read_fraction: float = 0.6,
+        burst_beats: Tuple[int, ...] = (1, 4),
+        beat_bytes: int = 4,
+        threads: int = 1,
+        tags: int = 1,
+        priority: int = 0,
+        posted_writes: bool = False,
+    ) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+        if not address_ranges:
+            raise ValueError("need at least one address range")
+        self.name = name
+        self.rng = random.Random(seed)
+        self.remaining = count
+        self.address_ranges = list(address_ranges)
+        self.rate = rate
+        self.read_fraction = read_fraction
+        self.burst_beats = burst_beats
+        self.beat_bytes = beat_bytes
+        self.threads = threads
+        self.tags = tags
+        self.priority = priority
+        self.posted_writes = posted_writes
+        self.completions: List[Tuple[int, int, ResponseStatus]] = []
+        self._armed: Optional[Transaction] = None
+
+    def _generate(self) -> Transaction:
+        base, size = self.rng.choice(self.address_ranges)
+        beats = self.rng.choice(self.burst_beats)
+        span = beats * self.beat_bytes
+        # Align so the burst stays inside the range and on a beat boundary.
+        slots = max(1, (size - span) // self.beat_bytes)
+        address = base + self.rng.randrange(slots) * self.beat_bytes
+        thread = self.rng.randrange(self.threads)
+        tag = self.rng.randrange(self.tags)
+        if self.rng.random() < self.read_fraction:
+            txn = make_read(
+                address,
+                beats=beats,
+                beat_bytes=self.beat_bytes,
+                master=self.name,
+            )
+        else:
+            data = [self.rng.randrange(1 << 32) for _ in range(beats)]
+            txn = make_write(
+                address,
+                data,
+                beat_bytes=self.beat_bytes,
+                posted=self.posted_writes,
+                master=self.name,
+            )
+        txn.thread = thread
+        txn.txn_tag = tag
+        txn.priority = self.priority
+        return txn
+
+    def poll(self, cycle: int) -> Optional[Transaction]:
+        if self.remaining <= 0:
+            return None
+        if self._armed is None:
+            if self.rng.random() >= self.rate:
+                return None
+            self._armed = self._generate()
+        txn = self._armed
+        self._armed = None
+        self.remaining -= 1
+        return txn
+
+    def done(self) -> bool:
+        return self.remaining <= 0 and self._armed is None
+
+    def notify_complete(
+        self, txn_id: int, cycle: int, status: ResponseStatus
+    ) -> None:
+        self.completions.append((txn_id, cycle, status))
+
+
+class DependentTraffic:
+    """Closed-loop, CPU-like: the next intent issues ``think_cycles``
+    after the previous one completes (dependent loads)."""
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        count: int,
+        address_ranges: List[Tuple[int, int]],
+        think_cycles: int = 2,
+        read_fraction: float = 0.8,
+        beat_bytes: int = 4,
+        priority: int = 0,
+    ) -> None:
+        self.name = name
+        self.rng = random.Random(seed)
+        self.remaining = count
+        self.address_ranges = list(address_ranges)
+        self.think_cycles = think_cycles
+        self.read_fraction = read_fraction
+        self.beat_bytes = beat_bytes
+        self.priority = priority
+        self._ready_at = 0
+        self._waiting = False
+        self.completions: List[Tuple[int, int, ResponseStatus]] = []
+
+    def poll(self, cycle: int) -> Optional[Transaction]:
+        if self.remaining <= 0 or self._waiting or cycle < self._ready_at:
+            return None
+        base, size = self.rng.choice(self.address_ranges)
+        address = base + self.rng.randrange(max(1, size // 4)) * 4
+        if self.rng.random() < self.read_fraction:
+            txn = make_read(address, master=self.name)
+        else:
+            txn = make_write(
+                address, [self.rng.randrange(1 << 32)], master=self.name
+            )
+        txn.priority = self.priority
+        self.remaining -= 1
+        self._waiting = True
+        return txn
+
+    def done(self) -> bool:
+        return self.remaining <= 0 and not self._waiting
+
+    def notify_complete(
+        self, txn_id: int, cycle: int, status: ResponseStatus
+    ) -> None:
+        self._waiting = False
+        self._ready_at = cycle + self.think_cycles
+        self.completions.append((txn_id, cycle, status))
+
+
+class StreamTraffic:
+    """DMA-like: back-to-back long INCR bursts sweeping a region."""
+
+    def __init__(
+        self,
+        name: str,
+        base: int,
+        bytes_total: int,
+        burst_beats: int = 8,
+        beat_bytes: int = 4,
+        write: bool = True,
+        posted: bool = False,
+        priority: int = 0,
+        gap_cycles: int = 0,
+    ) -> None:
+        self.name = name
+        self.base = base
+        self.burst_beats = burst_beats
+        self.beat_bytes = beat_bytes
+        self.write = write
+        self.posted = posted
+        self.priority = priority
+        self.gap_cycles = gap_cycles
+        burst_bytes = burst_beats * beat_bytes
+        self.bursts_remaining = max(1, bytes_total // burst_bytes)
+        self._cursor = base
+        self._ready_at = 0
+        self.completions: List[Tuple[int, int, ResponseStatus]] = []
+
+    def poll(self, cycle: int) -> Optional[Transaction]:
+        if self.bursts_remaining <= 0 or cycle < self._ready_at:
+            return None
+        if self.write:
+            data = [i & 0xFFFFFFFF for i in range(self.burst_beats)]
+            txn = make_write(
+                self._cursor,
+                data,
+                beat_bytes=self.beat_bytes,
+                posted=self.posted,
+                master=self.name,
+            )
+        else:
+            txn = make_read(
+                self._cursor,
+                beats=self.burst_beats,
+                beat_bytes=self.beat_bytes,
+                master=self.name,
+            )
+        txn.priority = self.priority
+        self._cursor += self.burst_beats * self.beat_bytes
+        self.bursts_remaining -= 1
+        self._ready_at = cycle + self.gap_cycles
+        return txn
+
+    def done(self) -> bool:
+        return self.bursts_remaining <= 0
+
+    def notify_complete(
+        self, txn_id: int, cycle: int, status: ResponseStatus
+    ) -> None:
+        self.completions.append((txn_id, cycle, status))
+
+
+class SyncWorkload:
+    """Critical-section loop in either synchronization style (E3).
+
+    ``style="lock"`` (legacy blocking, AHB/VCI): READEX the semaphore
+    (locks the path and target), do the critical-section work, release
+    with STORE_COND_LOCKED.
+
+    ``style="excl"`` (non-blocking, AXI/OCP): exclusive-load the
+    semaphore, exclusive-store it; on a lost reservation retry.  Critical
+    section work runs only after a successful exclusive store, and the
+    semaphore is freed with a plain store.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        style: str,
+        sema_addr: int,
+        work_addr: int,
+        iterations: int = 4,
+        work_ops: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if style not in ("lock", "excl"):
+            raise ValueError("style must be 'lock' or 'excl'")
+        self.name = name
+        self.style = style
+        self.sema_addr = sema_addr
+        self.work_addr = work_addr
+        self.iterations_left = iterations
+        self.work_ops = work_ops
+        self.rng = random.Random(seed)
+        self._state = "idle"
+        self._work_left = 0
+        self._inflight_id: Optional[int] = None
+        self.retries = 0
+        self.sections_completed = 0
+        self.completions: List[Tuple[int, int, ResponseStatus]] = []
+
+    # ------------------------------------------------------------------ #
+    def _intent(self) -> Transaction:
+        if self.style == "lock":
+            if self._state == "idle":
+                self._state = "locking"
+                return Transaction(
+                    opcode=Opcode.READEX,
+                    address=self.sema_addr,
+                    master=self.name,
+                )
+            if self._state == "working":
+                if self._work_left == 0:
+                    self._state = "releasing"
+                    return Transaction(
+                        opcode=Opcode.STORE_COND_LOCKED,
+                        address=self.sema_addr,
+                        data=[0],
+                        master=self.name,
+                    )
+                self._work_left -= 1
+                return make_read(self.work_addr, master=self.name)
+        else:
+            if self._state == "idle":
+                self._state = "excl_load"
+                txn = make_read(self.sema_addr, master=self.name)
+                txn.excl = True
+                return txn
+            if self._state == "excl_store":
+                self._state = "excl_store_wait"
+                txn = make_write(self.sema_addr, [1], master=self.name)
+                txn.excl = True
+                return txn
+            if self._state == "working":
+                if self._work_left == 0:
+                    self._state = "releasing"
+                    return make_write(self.sema_addr, [0], master=self.name)
+                self._work_left -= 1
+                return make_read(self.work_addr, master=self.name)
+        raise AssertionError(f"{self.name}: no intent in state {self._state}")
+
+    def poll(self, cycle: int) -> Optional[Transaction]:
+        if self.iterations_left <= 0:
+            return None
+        if self._inflight_id is not None:
+            return None  # strictly serial state machine
+        if self._state in ("locking", "excl_load", "excl_store_wait", "releasing"):
+            return None  # waiting on completion callback
+        txn = self._intent()
+        self._inflight_id = txn.txn_id
+        return txn
+
+    def done(self) -> bool:
+        return self.iterations_left <= 0
+
+    def notify_complete(
+        self, txn_id: int, cycle: int, status: ResponseStatus
+    ) -> None:
+        self.completions.append((txn_id, cycle, status))
+        if txn_id != self._inflight_id:
+            raise AssertionError(
+                f"{self.name}: completion for {txn_id}, expected "
+                f"{self._inflight_id}"
+            )
+        self._inflight_id = None
+        if self.style == "lock":
+            if self._state == "locking":
+                self._state = "working"
+                self._work_left = self.work_ops
+            elif self._state == "releasing":
+                self._state = "idle"
+                self.sections_completed += 1
+                self.iterations_left -= 1
+        else:
+            if self._state == "excl_load":
+                self._state = "excl_store"
+            elif self._state == "excl_store_wait":
+                if status is ResponseStatus.EXOKAY:
+                    self._state = "working"
+                    self._work_left = self.work_ops
+                else:
+                    self.retries += 1
+                    self._state = "idle"  # reservation lost: retry
+            elif self._state == "releasing":
+                self._state = "idle"
+                self.sections_completed += 1
+                self.iterations_left -= 1

@@ -1,0 +1,416 @@
+"""Initiator and target NIU engines.
+
+The initiator NIU converts a master socket's native requests into NoC
+packets and returns response packets to the socket in the order its
+protocol demands.  The split between the generic engine here and the
+slim per-protocol subclasses (:mod:`repro.niu.ahb_niu` etc.) is the
+paper's compatibility argument made concrete: ordering, tagging, state
+tracking and service bits are one shared mechanism; a new socket only
+contributes record conversion.
+
+The target NIU terminates the socket protocol at the target side: it
+owns the per-target *NoC service* state (exclusive-access monitor, lock
+manager) and presents the target IP a neutral read/write interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.address_map import AddressMap, DecodeError
+from repro.core.packet import NocPacket, PacketKind
+from repro.core.services import ExclusiveMonitor, ExclusiveResult, LockManager
+from repro.core.transaction import (
+    BurstType,
+    Opcode,
+    ResponseStatus,
+    Transaction,
+)
+from repro.niu.state_table import StateEntry, StateTable
+from repro.niu.tag_policy import TagPolicy
+from repro.protocols.base import SlaveRequest, SlaveResponse, SlaveSocket
+from repro.sim.component import Component
+from repro.transport.network import Fabric
+
+
+class InitiatorNiu(Component):
+    """Generic initiator-NIU engine.
+
+    Subclass contract (record conversion only):
+
+    - :meth:`peek_native` — return the :class:`Transaction` encoded by
+      the native request at the head of the socket (without consuming
+      it), or ``None``;
+    - :meth:`pop_native` — consume that request;
+    - :meth:`push_native_response` — translate a completed
+      :class:`StateEntry` into the native response record and push it to
+      the socket; return False if the socket cannot accept it this cycle.
+    """
+
+    protocol_name = "BASE"
+
+    def __init__(
+        self,
+        name: str,
+        fabric: Fabric,
+        endpoint: int,
+        address_map: AddressMap,
+        policy: TagPolicy,
+        deliveries_per_cycle: int = 1,
+        issues_per_cycle: int = 1,
+    ) -> None:
+        super().__init__(name)
+        self.fabric = fabric
+        self.endpoint = endpoint
+        self.address_map = address_map
+        self.policy = policy
+        self.deliveries_per_cycle = deliveries_per_cycle
+        self.issues_per_cycle = issues_per_cycle
+        self.table = StateTable(f"{name}.table", policy.max_outstanding)
+        self.requests_sent = 0
+        self.responses_delivered = 0
+        self.posted_sent = 0
+        self.decode_errors = 0
+        self.stall_cycles = 0
+
+    # ------------------------------------------------------------------ #
+    # subclass interface
+    # ------------------------------------------------------------------ #
+    def peek_native(self, cycle: int) -> Optional[Transaction]:
+        raise NotImplementedError
+
+    def pop_native(self) -> None:
+        raise NotImplementedError
+
+    def push_native_response(self, entry: StateEntry) -> bool:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # engine
+    # ------------------------------------------------------------------ #
+    def tick(self, cycle: int) -> None:
+        self._accept_responses(cycle)
+        self._deliver_responses(cycle)
+        issued_any = self._issue_requests(cycle)
+        if not issued_any and self.peek_native(cycle) is not None:
+            self.stall_cycles += 1
+
+    def _accept_responses(self, cycle: int) -> None:
+        queue = self.fabric.responses(self.endpoint)
+        while queue:
+            packet: NocPacket = queue.pop()
+            entry = self.table.match_response(
+                packet.tag, packet.slv_addr, txn_id_hint=packet.txn_id
+            )
+            self.table.mark_responded(
+                entry.txn_id, packet.status, packet.payload
+            )
+            self.simulator.trace.log(
+                cycle,
+                self.name,
+                "rsp_accept",
+                txn=entry.txn_id,
+                status=packet.status.value,
+            )
+
+    def _deliver_responses(self, cycle: int) -> None:
+        delivered = 0
+        while delivered < self.deliveries_per_cycle:
+            ready = self.table.deliverable()
+            if not ready:
+                return
+            progressed = False
+            for entry in ready:
+                if self.push_native_response(entry):
+                    self.table.release(entry.txn_id)
+                    self.responses_delivered += 1
+                    delivered += 1
+                    progressed = True
+                    break
+            if not progressed:
+                return
+
+    def _issue_requests(self, cycle: int) -> bool:
+        issued_any = False
+        for _ in range(self.issues_per_cycle):
+            txn = self.peek_native(cycle)
+            if txn is None:
+                break
+            try:
+                slv_addr, offset = self.address_map.decode_span(
+                    txn.address, txn.total_bytes
+                )
+            except DecodeError:
+                if not self._reject_decode(txn, cycle):
+                    break
+                issued_any = True
+                continue
+            if txn.opcode is Opcode.STORE_POSTED:
+                if not self.fabric.can_inject_request(self.endpoint):
+                    break
+                self.pop_native()
+                self._inject(txn, slv_addr, offset, tag=self.policy.tag_for(txn))
+                self.posted_sent += 1
+                issued_any = True
+                continue
+            if not self.policy.admit(txn, slv_addr, self.table):
+                break
+            if not self.fabric.can_inject_request(self.endpoint):
+                break
+            self.pop_native()
+            tag = self.policy.tag_for(txn)
+            self.table.allocate(
+                txn, tag, slv_addr, offset, self.policy.stream_of(txn), cycle
+            )
+            self._inject(txn, slv_addr, offset, tag)
+            issued_any = True
+        return issued_any
+
+    def _reject_decode(self, txn: Transaction, cycle: int) -> bool:
+        """Complete an unmapped address with DECERR, never entering the
+        fabric (default-slave behaviour).  Posted stores are dropped."""
+        if txn.opcode is Opcode.STORE_POSTED:
+            self.pop_native()
+            self.decode_errors += 1
+            return True
+        if not self.table.can_allocate():
+            return False
+        self.pop_native()
+        entry = self.table.allocate(
+            txn,
+            tag=self.policy.tag_for(txn),
+            slv_addr=0,
+            offset=0,
+            stream=self.policy.stream_of(txn),
+            cycle=cycle,
+        )
+        self.table.mark_responded(
+            entry.txn_id, ResponseStatus.DECERR, payload=None
+        )
+        self.decode_errors += 1
+        return True
+
+    def _inject(
+        self, txn: Transaction, slv_addr: int, offset: int, tag: int
+    ) -> None:
+        user: Dict[str, int] = {}
+        if txn.excl:
+            user["excl"] = 1
+        packet = NocPacket(
+            kind=PacketKind.REQUEST,
+            opcode=txn.opcode,
+            slv_addr=slv_addr,
+            mst_addr=self.endpoint,
+            tag=tag,
+            offset=offset,
+            beats=txn.beats,
+            beat_bytes=txn.beat_bytes,
+            burst=txn.burst.value,
+            payload=list(txn.data) if txn.data is not None else None,
+            priority=txn.priority,
+            user=user,
+            txn_id=txn.txn_id,
+        )
+        self.fabric.inject_request(self.endpoint, packet)
+        self.requests_sent += 1
+
+
+class TargetNiu(Component):
+    """Generic target NIU: packets in, neutral slave operations out.
+
+    Owns the per-target NoC-service state: the exclusive-access monitor
+    (the "state information in the NIU" of §3) and the lock manager for
+    the legacy blocking family.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fabric: Fabric,
+        endpoint: int,
+        slave_socket: SlaveSocket,
+        max_outstanding: int = 4,
+        exclusive_monitor: Optional[ExclusiveMonitor] = None,
+        lock_manager: Optional[LockManager] = None,
+    ) -> None:
+        super().__init__(name)
+        self.fabric = fabric
+        self.endpoint = endpoint
+        self.slave_socket = slave_socket
+        self.max_outstanding = max_outstanding
+        self.monitor = exclusive_monitor
+        self.locks = lock_manager
+        self._pending: Dict[int, NocPacket] = {}  # token -> request packet
+        self._release_on_complete: Dict[int, int] = {}  # token -> mst
+        self._next_token = 0
+        # Responses leave in request-acceptance order so the fabric's
+        # per-(initiator, tag) FIFO guarantee holds even when the NIU
+        # answers some requests directly (locks, failed exclusives).
+        self._order: List[int] = []  # accepted tokens, oldest first
+        self._ready: Dict[int, Optional[NocPacket]] = {}  # None = no rsp
+        self.requests_served = 0
+        self.posted_served = 0
+        self.excl_failures = 0
+        self.lock_blocked_cycles = 0
+
+    # ------------------------------------------------------------------ #
+    def tick(self, cycle: int) -> None:
+        self._return_responses(cycle)
+        self._accept_requests(cycle)
+
+    # ------------------------------------------------------------------ #
+    # request path
+    # ------------------------------------------------------------------ #
+    def _accept_requests(self, cycle: int) -> None:
+        queue = self.fabric.requests(self.endpoint)
+        if not queue:
+            return
+        packet: NocPacket = queue.peek()
+        if self.locks is not None and not self.locks.may_proceed(packet.mst_addr):
+            self.locks.note_blocked()
+            self.lock_blocked_cycles += 1
+            return
+        if packet.opcode is Opcode.LOCK:
+            self._serve_lock(queue, packet, cycle)
+            return
+        if packet.opcode is Opcode.UNLOCK:
+            self._serve_unlock(queue, packet, cycle)
+            return
+        excl = bool(packet.user.get("excl"))
+        if excl and packet.opcode.is_write and self.monitor is None:
+            self._respond_direct(queue, packet, ResponseStatus.SLVERR)
+            return
+        # Capacity gates come before any state change so a stalled cycle
+        # has no side effects (in particular: the exclusive reservation
+        # must be consumed exactly once).
+        if not self.slave_socket.requests.can_push():
+            return
+        if len(self._pending) >= self.max_outstanding:
+            return
+        if excl and packet.opcode.is_write:
+            # Decide *before* touching the target: a failed exclusive
+            # store must not modify memory.
+            result = self.monitor.exclusive_store(
+                packet.mst_addr, packet.offset, packet.beats * packet.beat_bytes
+            )
+            if result is ExclusiveResult.OKAY_FAILED:
+                self.excl_failures += 1
+                self._respond_direct(queue, packet, ResponseStatus.OKAY)
+                return
+            # EXOKAY: fall through and perform the write.
+        queue.pop()
+        self._forward(packet, excl, cycle)
+
+    def _allocate_token(self) -> int:
+        token = self._next_token
+        self._next_token += 1
+        self._order.append(token)
+        return token
+
+    def _serve_lock(self, queue, packet: NocPacket, cycle: int) -> None:
+        assert self.locks is not None, "LOCK packet at target without lock support"
+        if not self.locks.acquire(packet.mst_addr):
+            return  # holder active; stall (may_proceed covered re-check)
+        queue.pop()
+        token = self._allocate_token()
+        self._ready[token] = packet.make_response(ResponseStatus.OKAY)
+        self.requests_served += 1
+        self.simulator.trace.log(
+            cycle, self.name, "lock_acquired", master=packet.mst_addr
+        )
+
+    def _serve_unlock(self, queue, packet: NocPacket, cycle: int) -> None:
+        assert self.locks is not None
+        self.locks.release(packet.mst_addr)
+        queue.pop()
+        token = self._allocate_token()
+        self._ready[token] = packet.make_response(ResponseStatus.OKAY)
+        self.requests_served += 1
+        self.simulator.trace.log(
+            cycle, self.name, "lock_released", master=packet.mst_addr
+        )
+
+    def _respond_direct(
+        self, queue, packet: NocPacket, status: ResponseStatus
+    ) -> None:
+        """Complete at the NIU without involving the target IP."""
+        queue.pop()
+        payload = None
+        if packet.opcode.is_read and not status.is_error:
+            payload = [0] * packet.beats
+        token = self._allocate_token()
+        self._ready[token] = packet.make_response(status, payload=payload)
+        self.requests_served += 1
+
+    def _forward(self, packet: NocPacket, excl: bool, cycle: int) -> None:
+        span = packet.beats * packet.beat_bytes
+        if self.locks is not None:
+            if packet.opcode is Opcode.READEX:
+                # Locked read: take the lock for this master.
+                self.locks.acquire(packet.mst_addr)
+            elif packet.opcode is Opcode.STORE_COND_LOCKED:
+                # Locked write: release once the write completes.
+                pass  # handled at response time via _release_on_complete
+        if self.monitor is not None:
+            if excl and packet.opcode.is_read:
+                self.monitor.exclusive_load(
+                    packet.mst_addr, packet.offset, span, cycle
+                )
+            elif packet.opcode.is_write:
+                self.monitor.observe_store(packet.mst_addr, packet.offset, span)
+        token = self._allocate_token()
+        self._pending[token] = packet
+        if packet.opcode is Opcode.STORE_COND_LOCKED and self.locks is not None:
+            self._release_on_complete[token] = packet.mst_addr
+        burst = BurstType[packet.burst]
+        self.slave_socket.requests.push(
+            SlaveRequest(
+                read=packet.opcode.is_read,
+                offset=packet.offset,
+                beats=packet.beats,
+                beat_bytes=packet.beat_bytes,
+                addresses=burst.addresses(
+                    packet.offset, packet.beats, packet.beat_bytes
+                ),
+                data=list(packet.payload) if packet.payload is not None else None,
+                token=token,
+            )
+        )
+        self.requests_served += 1
+
+    # ------------------------------------------------------------------ #
+    # response path
+    # ------------------------------------------------------------------ #
+    def _return_responses(self, cycle: int) -> None:
+        # Absorb finished target-IP accesses into the ready map.
+        responses = self.slave_socket.responses
+        while responses:
+            slave_rsp: SlaveResponse = responses.pop()
+            packet = self._pending.pop(slave_rsp.token)
+            if packet.opcode.expects_response:
+                status = slave_rsp.status
+                if packet.user.get("excl") and not status.is_error:
+                    status = ResponseStatus.EXOKAY
+                self._ready[slave_rsp.token] = packet.make_response(
+                    status, payload=slave_rsp.data
+                )
+            else:
+                self._ready[slave_rsp.token] = None  # posted: no response
+                self.posted_served += 1
+            mst = self._release_on_complete.pop(slave_rsp.token, None)
+            if mst is not None:
+                self.locks.release(mst)
+        # Inject strictly in request-acceptance order.
+        while self._order and self._order[0] in self._ready:
+            token = self._order[0]
+            response = self._ready[token]
+            if response is not None:
+                if not self.fabric.can_inject_response(self.endpoint):
+                    return
+                self.fabric.inject_response(self.endpoint, response)
+            del self._ready[token]
+            self._order.pop(0)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending) + len(self._order)

@@ -1,0 +1,27 @@
+"""The NoC physical layer.
+
+"The physical layer defines how packets are physically transmitted …
+independent from transaction and transport layers" (paper §1).  We model
+the three physical concerns the paper names:
+
+- **raw bandwidth** — :class:`~repro.phys.link.PhysicalLink` serializes
+  flits into *phits* of configurable width, so halving the wire count
+  doubles cycles-per-flit without any transport/transaction change;
+- **matching clocks** — :mod:`repro.phys.clocking` provides clock domains
+  with integer ratios and :class:`~repro.phys.cdc.CdcFifo` a synchronizer
+  FIFO with the classic two-flop crossing latency;
+- **off-chip communication** — a narrow, high-latency ``PhysicalLink``
+  configuration (see the E7 bench).
+"""
+
+from repro.phys.cdc import CdcFifo
+from repro.phys.clocking import ClockDomain, ClockedRegion
+from repro.phys.link import PhysicalLink, phits_per_flit
+
+__all__ = [
+    "CdcFifo",
+    "ClockDomain",
+    "ClockedRegion",
+    "PhysicalLink",
+    "phits_per_flit",
+]

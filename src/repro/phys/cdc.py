@@ -1,0 +1,96 @@
+"""Clock-domain-crossing FIFO.
+
+Models the standard dual-clock FIFO: items written in the producer domain
+become visible to the consumer domain only after a synchronizer delay
+measured in *consumer* clock edges (two-flop synchronizer = 2 edges).
+Used by physical-layer experiments that put NIUs and fabric in different
+clock domains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from repro.phys.clocking import ClockDomain
+from repro.sim.component import Component
+
+
+class CdcFifo(Component):
+    """Bounded FIFO between two clock domains with synchronizer latency."""
+
+    def __init__(
+        self,
+        name: str,
+        producer_domain: ClockDomain,
+        consumer_domain: ClockDomain,
+        capacity: int = 8,
+        sync_stages: int = 2,
+    ) -> None:
+        super().__init__(name)
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if sync_stages < 1:
+            raise ValueError("sync_stages must be >= 1")
+        self.producer_domain = producer_domain
+        self.consumer_domain = consumer_domain
+        self.capacity = capacity
+        self.sync_stages = sync_stages
+        # (consumer edges remaining before visible, item)
+        self._crossing: Deque[Tuple[int, Any]] = deque()
+        self._visible: Deque[Any] = deque()
+        self.total_pushed = 0
+        self.total_popped = 0
+
+    # producer side ----------------------------------------------------- #
+    def can_push(self) -> bool:
+        return len(self._crossing) + len(self._visible) < self.capacity
+
+    def push(self, item: Any) -> None:
+        if not self.can_push():
+            raise OverflowError(f"CDC FIFO {self.name!r} full")
+        self._crossing.append((self.sync_stages, item))
+        self.total_pushed += 1
+
+    # consumer side ------------------------------------------------------ #
+    def can_pop(self) -> bool:
+        return bool(self._visible)
+
+    def pop(self) -> Any:
+        if not self._visible:
+            raise IndexError(f"CDC FIFO {self.name!r} empty")
+        self.total_popped += 1
+        return self._visible.popleft()
+
+    def peek(self) -> Any:
+        if not self._visible:
+            raise IndexError(f"CDC FIFO {self.name!r} empty")
+        return self._visible[0]
+
+    def __len__(self) -> int:
+        return len(self._visible)
+
+    # kernel --------------------------------------------------------------#
+    def tick(self, cycle: int) -> None:
+        # Synchronizer stages advance on consumer clock edges.
+        if not self.consumer_domain.active(cycle):
+            return
+        matured = 0
+        updated: Deque[Tuple[int, Any]] = deque()
+        for stages, item in self._crossing:
+            stages -= 1
+            if stages <= 0:
+                # Items mature strictly in order; once one is still
+                # crossing, everything behind it stays behind it.
+                if updated:
+                    updated.append((1, item))
+                else:
+                    self._visible.append(item)
+                    matured += 1
+            else:
+                updated.append((stages, item))
+        self._crossing = updated
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._crossing)

@@ -1,0 +1,66 @@
+"""Clock domains with integer frequency ratios.
+
+The simulation kernel ticks at the fastest clock in the system; a
+:class:`ClockedRegion` wraps slower components and forwards every N-th
+kernel tick to them.  This models GALS-style NoCs where the switch fabric
+runs faster than attached IP — a physical-layer concern that, per the
+paper, must not leak upward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.component import Component
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A named clock running at ``1/divisor`` of the kernel clock."""
+
+    name: str
+    divisor: int = 1
+    phase: int = 0
+
+    def __post_init__(self) -> None:
+        if self.divisor < 1:
+            raise ValueError(f"clock {self.name!r}: divisor must be >= 1")
+        if not 0 <= self.phase < self.divisor:
+            raise ValueError(f"clock {self.name!r}: phase out of range")
+
+    def active(self, kernel_cycle: int) -> bool:
+        """Does this domain have a clock edge at ``kernel_cycle``?"""
+        return kernel_cycle % self.divisor == self.phase
+
+    def local_cycle(self, kernel_cycle: int) -> int:
+        """This domain's own cycle count at kernel time ``kernel_cycle``."""
+        return (kernel_cycle - self.phase + self.divisor - 1) // self.divisor
+
+
+class ClockedRegion(Component):
+    """Ticks its children only on their clock domain's edges."""
+
+    def __init__(self, name: str, domain: ClockDomain) -> None:
+        super().__init__(name)
+        self.domain = domain
+        self._children: List[Component] = []
+
+    def add(self, component: Component) -> Component:
+        self._children.append(component)
+        return component
+
+    def bind(self, simulator) -> None:
+        super().bind(simulator)
+        for child in self._children:
+            child.bind(simulator)
+
+    def tick(self, cycle: int) -> None:
+        if self.domain.active(cycle):
+            local = self.domain.local_cycle(cycle)
+            for child in self._children:
+                child.tick(local)
+
+    def finish(self) -> None:
+        for child in self._children:
+            child.finish()

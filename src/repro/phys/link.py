@@ -1,0 +1,104 @@
+"""Physical link: flit serialization into phits.
+
+A transport-layer flit of ``flit_bits`` is carried over a wire bundle of
+``phit_bits`` wires; each phit takes one cycle, plus a fixed pipeline
+latency for wire/repeater delay.  The link is transparent above: it moves
+whole flits between two flit queues, just more slowly when narrow — the
+paper's point that physical width is invisible to transaction semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.sim.component import Component
+from repro.sim.queue import SimQueue
+from repro.transport.flit import Flit
+
+
+def phits_per_flit(flit_bits: int, phit_bits: int) -> int:
+    """Cycles to serialize one flit over a ``phit_bits``-wide bundle."""
+    if flit_bits < 1 or phit_bits < 1:
+        raise ValueError("flit_bits and phit_bits must be >= 1")
+    return math.ceil(flit_bits / phit_bits)
+
+
+class PhysicalLink(Component):
+    """Serializing, pipelined point-to-point link between two flit queues.
+
+    Parameters
+    ----------
+    flit_bits / phit_bits:
+        Determines the serialization factor (1 = full-width link).
+    pipeline_latency:
+        Extra cycles of wire delay added to every flit (0 = none).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        upstream: SimQueue,
+        downstream: SimQueue,
+        flit_bits: int = 72,
+        phit_bits: int = 72,
+        pipeline_latency: int = 0,
+    ) -> None:
+        super().__init__(name)
+        if pipeline_latency < 0:
+            raise ValueError("pipeline latency must be >= 0")
+        self.upstream = upstream
+        self.downstream = downstream
+        self.flit_bits = flit_bits
+        self.phit_bits = phit_bits
+        self.pipeline_latency = pipeline_latency
+        self.serialization = phits_per_flit(flit_bits, phit_bits)
+        self._shifting: Optional[Tuple[Flit, int]] = None  # (flit, phits left)
+        self._pipe: Deque[Tuple[int, Flit]] = deque()  # (ready cycle, flit)
+        self.flits_carried = 0
+        self.phits_carried = 0
+
+    def tick(self, cycle: int) -> None:
+        # Deliver flits whose pipeline delay matured.
+        while self._pipe and self._pipe[0][0] <= cycle:
+            if not self.downstream.can_push():
+                break
+            __, flit = self._pipe.popleft()
+            self.downstream.push(flit)
+            self.flits_carried += 1
+
+        # Shift phits of the flit currently on the wires.
+        if self._shifting is not None:
+            flit, remaining = self._shifting
+            remaining -= 1
+            self.phits_carried += 1
+            if remaining == 0:
+                # +1: the last phit lands this cycle, the flit is whole at
+                # the far end next cycle, plus any pipeline stages.
+                self._pipe.append((cycle + 1 + self.pipeline_latency, flit))
+                self._shifting = None
+            else:
+                self._shifting = (flit, remaining)
+            return
+
+        # Start serializing the next flit, with lookahead backpressure:
+        # never take a flit off the upstream queue unless the downstream
+        # side will have room by the time it arrives (bounded pipe).
+        if self.upstream and len(self._pipe) < self.pipeline_latency + 1:
+            flit = self.upstream.pop()
+            self._shifting = (flit, self.serialization)
+            self.phits_carried += 0  # counted as phits shift
+
+    @property
+    def bandwidth_bits_per_cycle(self) -> float:
+        """Peak payload bandwidth of this link."""
+        return self.flit_bits / self.serialization
+
+    @property
+    def latency_cycles(self) -> int:
+        """Cycles from first phit to delivery for one flit."""
+        return self.serialization + self.pipeline_latency
+
+    def idle(self) -> bool:
+        return self._shifting is None and not self._pipe

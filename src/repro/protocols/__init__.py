@@ -1,0 +1,34 @@
+"""VC socket protocol models.
+
+One module per socket family the paper names — AHB 2.0, AXI, OCP, the VCI
+flavors (PVCI/BVCI/AVCI) and an example proprietary protocol.  Each module
+provides:
+
+- request/response record types using the protocol's native signal names;
+- a *master* IP model (a :class:`~repro.sim.component.Component`) that
+  converts abstract traffic intents into protocol-legal request streams,
+  respecting that protocol's pipelining/ordering rules, and checks
+  responses against the protocol's ordering model.
+
+The protocol models are intentionally independent of the NoC: they can be
+attached to an initiator NIU (:mod:`repro.niu`) or to a bus bridge
+(:mod:`repro.bus`), which is exactly the comparison in Figs 1/2.
+"""
+
+from repro.protocols.base import (
+    MasterSocket,
+    ProtocolError,
+    ProtocolMaster,
+    SlaveRequest,
+    SlaveResponse,
+    SlaveSocket,
+)
+
+__all__ = [
+    "MasterSocket",
+    "ProtocolError",
+    "ProtocolMaster",
+    "SlaveRequest",
+    "SlaveResponse",
+    "SlaveSocket",
+]

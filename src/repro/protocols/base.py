@@ -1,0 +1,226 @@
+"""Shared socket machinery for all protocol models.
+
+A *socket* is the bundle of channels between an IP block and whatever
+interconnect attachment point it plugs into (NIU or bus bridge).  Each
+channel is a staged :class:`~repro.sim.queue.SimQueue`, so channel
+handshakes cost one cycle like everything else in the simulation.
+
+:class:`ProtocolMaster` is the common base of every master IP model: it
+pulls abstract intents (:class:`~repro.core.transaction.Transaction`
+objects) from a traffic source, asks its protocol subclass whether/how
+they can be issued now, and scores completions (latency histogram plus an
+:class:`~repro.core.ordering.OrderingChecker` in the protocol's native
+ordering model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol
+
+from repro.core.ordering import OrderingChecker, OrderingModel
+from repro.core.transaction import Opcode, ResponseStatus, Transaction
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.sim.queue import SimQueue
+
+
+class ProtocolError(RuntimeError):
+    """A socket rule was violated (model bug or illegal stimulus)."""
+
+
+class MasterSocket:
+    """Named channels between a master IP and its attachment point.
+
+    The IP side pushes onto *request-direction* channels and pops from
+    *response-direction* channels; the NIU/bridge side does the reverse.
+    Channel names are protocol specific ("req"/"rsp" for AHB-style,
+    "ar"/"aw"/"w"/"r"/"b" for AXI...).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        request_channels: List[str],
+        response_channels: List[str],
+        depth: int = 2,
+    ) -> None:
+        self.name = name
+        self.request_channels: Dict[str, SimQueue] = {
+            ch: sim.new_queue(f"{name}.{ch}", capacity=depth)
+            for ch in request_channels
+        }
+        self.response_channels: Dict[str, SimQueue] = {
+            ch: sim.new_queue(f"{name}.{ch}", capacity=depth)
+            for ch in response_channels
+        }
+
+    def req(self, channel: str) -> SimQueue:
+        return self.request_channels[channel]
+
+    def rsp(self, channel: str) -> SimQueue:
+        return self.response_channels[channel]
+
+
+@dataclass
+class SlaveRequest:
+    """Generic operation presented to a target IP by its target NIU.
+
+    Target NIUs terminate the socket protocol themselves (state tables,
+    exclusive monitors, lock managers) and present targets this neutral
+    read/write interface, mirroring how memory controllers expose simple
+    SRAM-like backends behind protocol front-ends.
+    """
+
+    read: bool
+    offset: int
+    beats: int
+    beat_bytes: int
+    addresses: List[int]
+    data: Optional[List[int]] = None
+    token: int = -1  # NIU-side correlation token
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class SlaveResponse:
+    token: int
+    status: ResponseStatus = ResponseStatus.OKAY
+    data: Optional[List[int]] = None
+
+
+class SlaveSocket:
+    """Request/response queue pair between a target NIU and a target IP."""
+
+    def __init__(self, sim: Simulator, name: str, depth: int = 2) -> None:
+        self.name = name
+        self.requests = sim.new_queue(f"{name}.req", capacity=depth)
+        self.responses = sim.new_queue(f"{name}.rsp", capacity=depth)
+
+
+class TrafficSource(Protocol):
+    """What a master IP model pulls intents from (see :mod:`repro.ip.traffic`)."""
+
+    def poll(self, cycle: int) -> Optional[Transaction]:
+        """Next intent if one is ready to issue at ``cycle``, else None."""
+        ...
+
+    def done(self) -> bool:
+        """True when the source will never produce another intent."""
+        ...
+
+    def notify_complete(
+        self, txn_id: int, cycle: int, status: ResponseStatus
+    ) -> None:
+        """Completion callback (lets sources model dependent requests and
+        react to exclusive-access failures)."""
+        ...
+
+
+class ProtocolMaster(Component):
+    """Base master IP model.
+
+    Subclass contract:
+
+    - :meth:`try_issue` — if the pending intent can legally enter the
+      socket this cycle, push the protocol records and return True;
+    - :meth:`collect_responses` — pop whatever response channels have and
+      return the ``txn_id`` of every intent that completed this cycle.
+    """
+
+    protocol_name = "BASE"
+    ordering_model = OrderingModel.FULLY_ORDERED
+
+    def __init__(
+        self,
+        name: str,
+        traffic: TrafficSource,
+        strict_ordering_check: bool = True,
+    ) -> None:
+        super().__init__(name)
+        self.traffic = traffic
+        self.checker = OrderingChecker(
+            model=self.ordering_model, master=name, strict=strict_ordering_check
+        )
+        self._pending: Optional[Transaction] = None
+        self._inflight: Dict[int, Transaction] = {}
+        #: Native status translated to the transaction-layer vocabulary,
+        #: recorded by subclasses before returning from collect_responses.
+        self.completion_status: Dict[int, ResponseStatus] = {}
+        self.issued = 0
+        self.completed = 0
+        self.errors = 0
+        self.exokay = 0
+        self.excl_failures = 0
+
+    # ------------------------------------------------------------------ #
+    # subclass interface
+    # ------------------------------------------------------------------ #
+    def try_issue(self, txn: Transaction, cycle: int) -> bool:
+        raise NotImplementedError
+
+    def collect_responses(self, cycle: int) -> List[int]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # common engine
+    # ------------------------------------------------------------------ #
+    def tick(self, cycle: int) -> None:
+        for txn_id in self.collect_responses(cycle):
+            self._complete(txn_id, cycle)
+        if self._pending is None:
+            self._pending = self.traffic.poll(cycle)
+        if self._pending is not None and self.try_issue(self._pending, cycle):
+            txn = self._pending
+            self._pending = None
+            txn.issued_cycle = cycle
+            self._inflight[txn.txn_id] = txn
+            if txn.opcode.expects_response:
+                # Posted writes have no response, so they take no part in
+                # the response-ordering discipline (paper §3 singles them
+                # out as one of the ordering obscurities).
+                self.checker.issue(
+                    txn.txn_id, thread=txn.thread, txn_tag=txn.txn_tag
+                )
+            self.simulator.stats.latency(f"{self.name}.txn").start(
+                txn.txn_id, cycle
+            )
+            self.issued += 1
+
+    def _complete(self, txn_id: int, cycle: int) -> None:
+        txn = self._inflight.pop(txn_id, None)
+        if txn is None:
+            raise ProtocolError(
+                f"{self.name}: completion for unknown txn {txn_id}"
+            )
+        if txn.opcode.expects_response:
+            self.checker.complete(txn_id)
+        self.simulator.stats.latency(f"{self.name}.txn").stop(txn_id, cycle)
+        status = self.completion_status.pop(txn_id, ResponseStatus.OKAY)
+        self.traffic.notify_complete(txn_id, cycle, status)
+        self.completed += 1
+
+    def note_status(self, txn_id: int, status: ResponseStatus, excl: bool) -> None:
+        """Record per-response status before calling :meth:`_complete`."""
+        if status.is_error:
+            self.errors += 1
+        elif excl and status is ResponseStatus.EXOKAY:
+            self.exokay += 1
+        elif excl and status is ResponseStatus.OKAY:
+            self.excl_failures += 1
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._inflight)
+
+    def finished(self) -> bool:
+        """All traffic generated, issued and completed."""
+        return (
+            self.traffic.done()
+            and self._pending is None
+            and not self._inflight
+        )
+
+    def inflight_txn(self, txn_id: int) -> Transaction:
+        return self._inflight[txn_id]

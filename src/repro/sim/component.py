@@ -1,0 +1,48 @@
+"""Base class for everything that lives inside a :class:`Simulator`."""
+
+from __future__ import annotations
+
+
+class Component:
+    """A named object ticked once per simulated cycle.
+
+    Subclasses override :meth:`tick`.  During ``tick`` a component may pop
+    from its input queues (immediately visible) and push to its output
+    queues (visible to consumers only from the next cycle, once the kernel
+    commits).  Components must not communicate through shared mutable
+    state outside of queues; that is what keeps the simulation
+    deterministic regardless of registration order for well-formed models.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._simulator = None
+
+    @property
+    def simulator(self):
+        """The :class:`Simulator` this component is registered with."""
+        if self._simulator is None:
+            raise RuntimeError(f"component {self.name!r} is not registered")
+        return self._simulator
+
+    @property
+    def now(self) -> int:
+        """Current simulation cycle (convenience passthrough)."""
+        return self.simulator.cycle
+
+    def bind(self, simulator) -> None:
+        """Called by :meth:`Simulator.add`.  Subclasses rarely override."""
+        if self._simulator is not None and self._simulator is not simulator:
+            raise RuntimeError(
+                f"component {self.name!r} is already bound to another simulator"
+            )
+        self._simulator = simulator
+
+    def tick(self, cycle: int) -> None:
+        """Advance the component by one cycle.  Default: do nothing."""
+
+    def finish(self) -> None:
+        """Hook invoked once when the simulation ends (for flushing stats)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,127 @@
+"""The cycle-based simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.component import Component
+from repro.sim.queue import SimQueue
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import Tracer
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level failures (deadlock, double registration...)."""
+
+
+class Simulator:
+    """Owns components and queues and advances them cycle by cycle.
+
+    The kernel is two-phase: every registered component's :meth:`tick` runs
+    first, then every registered queue commits its staged items.  A queue
+    push staged in cycle *n* is therefore consumer-visible in cycle
+    *n + 1*.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`Tracer`; if omitted a disabled tracer is created
+        so components can log unconditionally.
+    """
+
+    def __init__(self, trace: Optional[Tracer] = None) -> None:
+        self.cycle = 0
+        self.stats = StatsRegistry()
+        self.trace = trace if trace is not None else Tracer(enabled=False)
+        self._components: List[Component] = []
+        self._component_names: Dict[str, Component] = {}
+        self._queues: List[SimQueue] = []
+        self._queue_names: Dict[str, SimQueue] = {}
+        self._finished = False
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def add(self, component: Component) -> Component:
+        """Register a component; returns it for chaining."""
+        if component.name in self._component_names:
+            raise SimulationError(f"duplicate component name {component.name!r}")
+        component.bind(self)
+        self._components.append(component)
+        self._component_names[component.name] = component
+        return component
+
+    def add_queue(self, queue: SimQueue) -> SimQueue:
+        """Register a queue so the kernel commits it each cycle."""
+        if queue.name in self._queue_names:
+            raise SimulationError(f"duplicate queue name {queue.name!r}")
+        self._queues.append(queue)
+        self._queue_names[queue.name] = queue
+        return queue
+
+    def new_queue(self, name: str, capacity: Optional[int] = 4) -> SimQueue:
+        """Create **and** register a queue in one call."""
+        return self.add_queue(SimQueue(name, capacity))
+
+    def component(self, name: str) -> Component:
+        return self._component_names[name]
+
+    def queue(self, name: str) -> SimQueue:
+        return self._queue_names[name]
+
+    @property
+    def components(self) -> List[Component]:
+        return list(self._components)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        """Advance the simulation by exactly one cycle."""
+        for component in self._components:
+            component.tick(self.cycle)
+        for queue in self._queues:
+            queue.commit()
+        self.cycle += 1
+
+    def run(self, cycles: int) -> int:
+        """Run for ``cycles`` cycles; returns the new current cycle."""
+        for _ in range(cycles):
+            self.step()
+        return self.cycle
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_cycles: int = 1_000_000,
+        check_every: int = 1,
+    ) -> int:
+        """Run until ``predicate()`` is true.
+
+        Raises :class:`SimulationError` if ``max_cycles`` elapse first —
+        the standard way benches and tests detect deadlock/livelock.
+        """
+        start = self.cycle
+        while not predicate():
+            if self.cycle - start >= max_cycles:
+                raise SimulationError(
+                    f"run_until exceeded {max_cycles} cycles "
+                    f"(started at {start}, now {self.cycle})"
+                )
+            for _ in range(check_every):
+                self.step()
+        return self.cycle
+
+    def finish(self) -> None:
+        """Invoke every component's :meth:`Component.finish` hook once."""
+        if self._finished:
+            return
+        self._finished = True
+        for component in self._components:
+            component.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator cycle={self.cycle} components={len(self._components)} "
+            f"queues={len(self._queues)}>"
+        )

@@ -1,0 +1,126 @@
+"""Staged bounded FIFO used for all inter-component communication.
+
+A ``SimQueue`` separates the *committed* region (items visible to the
+consumer) from the *staged* region (items pushed during the current cycle,
+invisible until the kernel calls :meth:`commit`).  This two-phase behaviour
+gives every producer→consumer hop a latency of exactly one cycle and makes
+results independent of the order components are ticked in.
+
+Capacity accounting covers committed **plus** staged items, which models
+credit-based flow control with a credit-return latency of zero: the
+producer may only push when the consumer's buffer has a free slot this
+cycle.  Explicit multi-cycle credit loops are modelled at the transport
+layer on top of this primitive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterator, List, Optional
+
+
+class SimQueue:
+    """Bounded FIFO with next-cycle push visibility.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces and error messages.
+    capacity:
+        Maximum number of items committed + staged.  ``None`` means
+        unbounded (useful for sink-side scoreboards in tests).
+    """
+
+    def __init__(self, name: str, capacity: Optional[int] = 4) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"queue {name!r}: capacity must be >= 1 or None")
+        self.name = name
+        self.capacity = capacity
+        self._committed: Deque[Any] = deque()
+        self._staged: List[Any] = []
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.high_watermark = 0
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+    def can_push(self, count: int = 1) -> bool:
+        """True if ``count`` more items fit this cycle."""
+        if self.capacity is None:
+            return True
+        return len(self._committed) + len(self._staged) + count <= self.capacity
+
+    def push(self, item: Any) -> None:
+        """Stage ``item``; it becomes visible after the next commit."""
+        if not self.can_push():
+            raise OverflowError(
+                f"queue {self.name!r} is full "
+                f"({len(self._committed)} committed + {len(self._staged)} staged"
+                f" / capacity {self.capacity})"
+            )
+        self._staged.append(item)
+        self.total_pushed += 1
+
+    # ------------------------------------------------------------------ #
+    # consumer side
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Number of committed (consumer-visible) items."""
+        return len(self._committed)
+
+    def __bool__(self) -> bool:
+        return bool(self._committed)
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate committed items front-to-back without consuming them."""
+        return iter(self._committed)
+
+    def peek(self, index: int = 0) -> Any:
+        """Return the committed item at ``index`` without removing it."""
+        if index >= len(self._committed):
+            raise IndexError(
+                f"queue {self.name!r}: peek({index}) with only "
+                f"{len(self._committed)} committed items"
+            )
+        return self._committed[index]
+
+    def pop(self) -> Any:
+        """Remove and return the oldest committed item (visible immediately)."""
+        if not self._committed:
+            raise IndexError(f"queue {self.name!r} is empty")
+        self.total_popped += 1
+        return self._committed.popleft()
+
+    # ------------------------------------------------------------------ #
+    # kernel side
+    # ------------------------------------------------------------------ #
+    def commit(self) -> None:
+        """Move staged items into the committed region (kernel only)."""
+        if self._staged:
+            self._committed.extend(self._staged)
+            self._staged.clear()
+        if len(self._committed) > self.high_watermark:
+            self.high_watermark = len(self._committed)
+
+    @property
+    def staged_count(self) -> int:
+        return len(self._staged)
+
+    @property
+    def occupancy(self) -> int:
+        """Committed + staged items (what capacity accounting sees)."""
+        return len(self._committed) + len(self._staged)
+
+    def drain(self) -> List[Any]:
+        """Pop every committed item (test/scoreboard convenience)."""
+        items = list(self._committed)
+        self.total_popped += len(items)
+        self._committed.clear()
+        return items
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SimQueue {self.name!r} committed={len(self._committed)} "
+            f"staged={len(self._staged)} cap={self.capacity}>"
+        )

@@ -1,0 +1,66 @@
+"""Lightweight event tracing.
+
+Tracing answers "what did the fabric actually do": which flits crossed
+which router at which cycle, when a NIU allocated a tag, when a LOCK was
+taken.  It is disabled by default (zero overhead beyond one branch) and
+switched on by tests that assert on event sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event emitted by a component."""
+
+    cycle: int
+    source: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.cycle:>8}] {self.source:<24} {self.kind:<20} {extras}"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` objects, optionally filtered by kind."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        kinds: Optional[List[str]] = None,
+        sink: Optional[Callable[[TraceEvent], None]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self._kinds = set(kinds) if kinds is not None else None
+        self._sink = sink
+        self.events: List[TraceEvent] = []
+
+    def log(self, cycle: int, source: str, kind: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        event = TraceEvent(cycle=cycle, source=source, kind=kind, detail=detail)
+        self.events.append(event)
+        if self._sink is not None:
+            self._sink(event)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def from_source(self, source: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.source == source]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def dump(self) -> str:
+        return "\n".join(str(e) for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,306 @@
+"""Build a Fig-1 style layered-NoC SoC from declarative specs."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.core.address_map import AddressMap
+from repro.core.layer import TransactionLayerConfig, build_layer_config
+from repro.core.services import ExclusiveMonitor, LockManager, NocService
+from repro.ip.slaves import MemoryDevice
+from repro.niu.ahb_niu import AhbInitiatorNiu
+from repro.niu.axi_niu import AxiInitiatorNiu
+from repro.niu.base import InitiatorNiu, TargetNiu
+from repro.niu.ocp_niu import OcpInitiatorNiu
+from repro.niu.proprietary_niu import MsgInitiatorNiu
+from repro.niu.vci_niu import VciInitiatorNiu
+from repro.protocols.ahb import AhbMaster
+from repro.protocols.axi import AxiMaster
+from repro.protocols.base import ProtocolMaster, SlaveSocket
+from repro.protocols.ocp import OcpMaster
+from repro.protocols.proprietary import MsgMaster
+from repro.protocols.vci import AvciMaster, BvciMaster, PvciMaster
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.trace import Tracer
+from repro.soc.config import InitiatorSpec, TargetSpec
+from repro.transport import topology as topo_mod
+from repro.transport.network import Fabric
+from repro.transport.switching import SwitchingMode
+from repro.transport.topology import Topology
+
+_MASTER_CLASSES = {
+    "AHB": AhbMaster,
+    "AXI": AxiMaster,
+    "OCP": OcpMaster,
+    "PVCI": PvciMaster,
+    "BVCI": BvciMaster,
+    "AVCI": AvciMaster,
+    "PROPRIETARY": MsgMaster,
+}
+
+
+def _make_initiator_niu(
+    spec: InitiatorSpec,
+    fabric: Fabric,
+    endpoint: int,
+    address_map: AddressMap,
+    master: ProtocolMaster,
+) -> InitiatorNiu:
+    name = f"{spec.name}.niu"
+    socket = master.socket
+    if spec.protocol == "AHB":
+        return AhbInitiatorNiu(name, fabric, endpoint, address_map, socket, spec.policy)
+    if spec.protocol == "AXI":
+        return AxiInitiatorNiu(name, fabric, endpoint, address_map, socket, spec.policy)
+    if spec.protocol == "OCP":
+        return OcpInitiatorNiu(name, fabric, endpoint, address_map, socket, spec.policy)
+    if spec.protocol in ("PVCI", "BVCI", "AVCI"):
+        return VciInitiatorNiu(
+            name, fabric, endpoint, address_map, socket,
+            flavor=spec.protocol, policy=spec.policy,
+        )
+    if spec.protocol == "PROPRIETARY":
+        return MsgInitiatorNiu(name, fabric, endpoint, address_map, socket, spec.policy)
+    raise ValueError(f"no NIU for protocol {spec.protocol!r}")
+
+
+class NocSoc:
+    """A built, runnable layered-NoC system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        layer_config: TransactionLayerConfig,
+        address_map: AddressMap,
+        masters: Dict[str, ProtocolMaster],
+        initiator_nius: Dict[str, InitiatorNiu],
+        target_nius: Dict[str, TargetNiu],
+        memories: Dict[str, MemoryDevice],
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.layer_config = layer_config
+        self.address_map = address_map
+        self.masters = masters
+        self.initiator_nius = initiator_nius
+        self.target_nius = target_nius
+        self.memories = memories
+
+    # ------------------------------------------------------------------ #
+    def quiescent(self) -> bool:
+        """All traffic drained everywhere."""
+        return (
+            all(m.finished() for m in self.masters.values())
+            and self.fabric.idle()
+            and all(m.idle() for m in self.memories.values())
+            and all(t.outstanding == 0 for t in self.target_nius.values())
+        )
+
+    def run_to_completion(self, max_cycles: int = 200_000) -> int:
+        """Run until every master's traffic fully completes."""
+        return self.sim.run_until(self.quiescent, max_cycles=max_cycles)
+
+    def run(self, cycles: int) -> int:
+        return self.sim.run(cycles)
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+    def master_latency(self, name: str) -> Dict[str, float]:
+        return self.sim.stats.latency(f"{name}.txn").histogram.summary()
+
+    def aggregate_latency(self) -> Dict[str, float]:
+        from repro.sim.stats import Histogram
+
+        merged = Histogram("all-masters")
+        for name in self.masters:
+            hist = self.sim.stats.latency(f"{name}.txn").histogram
+            for sample in hist.samples:
+                merged.add(sample)
+        return merged.summary()
+
+    def total_completed(self) -> int:
+        return sum(m.completed for m in self.masters.values())
+
+    def ordering_violations(self) -> int:
+        return sum(len(m.checker.violations) for m in self.masters.values())
+
+    def memory_image(self) -> Dict[str, Dict[int, int]]:
+        """Byte image of every memory (layer-independence fingerprint)."""
+        return {
+            name: mem.store.image() for name, mem in sorted(self.memories.items())
+        }
+
+
+class SocBuilder:
+    """Accumulates specs, then :meth:`build`\\ s a :class:`NocSoc`.
+
+    Fabric-level knobs (switching mode, flit width, arbiter, routing,
+    topology) are all constructor parameters so benchmarks can sweep them
+    while holding the IP and NIU configuration constant — the layering
+    experiments depend on exactly that separation.
+    """
+
+    def __init__(
+        self,
+        name: str = "soc",
+        mode: SwitchingMode = SwitchingMode.WORMHOLE,
+        flit_payload_bits: int = 128,
+        buffer_capacity: int = 8,
+        arbiter: str = "priority",
+        routing: str = "table",
+        topology: Optional[Topology] = None,
+        trace: Optional[Tracer] = None,
+        transport_lock_support: Optional[bool] = None,
+    ) -> None:
+        self.name = name
+        self.mode = mode
+        self.flit_payload_bits = flit_payload_bits
+        self.buffer_capacity = buffer_capacity
+        self.arbiter = arbiter
+        self.routing = routing
+        self.topology = topology
+        self.trace = trace
+        # None = derive from the socket set (LEGACY_LOCK service);
+        # False = ablation: locks serialized at the target NIU only.
+        self.transport_lock_support = transport_lock_support
+        self.initiators: List[InitiatorSpec] = []
+        self.targets: List[TargetSpec] = []
+
+    # ------------------------------------------------------------------ #
+    def add_initiator(self, spec: InitiatorSpec) -> "SocBuilder":
+        if any(s.name == spec.name for s in self.initiators):
+            raise ValueError(f"duplicate initiator {spec.name!r}")
+        self.initiators.append(spec)
+        return self
+
+    def add_target(self, spec: TargetSpec) -> "SocBuilder":
+        if any(s.name == spec.name for s in self.targets):
+            raise ValueError(f"duplicate target {spec.name!r}")
+        self.targets.append(spec)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _default_topology(self, endpoints: int) -> Topology:
+        width = max(2, math.ceil(math.sqrt(endpoints)))
+        height = max(2, math.ceil(endpoints / width))
+        return topo_mod.mesh(width, height, endpoints=endpoints)
+
+    def _build_address_map(self) -> AddressMap:
+        address_map = AddressMap()
+        cursor = 0
+        n_init = len(self.initiators)
+        for index, spec in enumerate(self.targets):
+            base = spec.base
+            if base is None:
+                base = cursor
+            address_map.add_range(
+                base, spec.size, slv_addr=n_init + index, name=spec.name
+            )
+            cursor = max(cursor, base + spec.size)
+        return address_map
+
+    def build(self) -> NocSoc:
+        if not self.initiators:
+            raise ValueError("SoC needs at least one initiator")
+        if not self.targets:
+            raise ValueError("SoC needs at least one target")
+        sim = Simulator(trace=self.trace)
+        endpoints = len(self.initiators) + len(self.targets)
+        topology = self.topology or self._default_topology(endpoints)
+
+        # Transaction-layer configuration from the attached socket set —
+        # the paper's per-SoC customization step.
+        max_outstanding = max(
+            (s.policy.max_outstanding for s in self.initiators if s.policy),
+            default=8,
+        )
+        layer_config = build_layer_config(
+            protocols=[s.protocol for s in self.initiators],
+            initiators=len(self.initiators),
+            targets=len(self.targets),
+            max_outstanding=max(8, max_outstanding),
+        )
+
+        fabric = Fabric(
+            sim,
+            topology,
+            name=self.name,
+            mode=self.mode,
+            flit_payload_bits=self.flit_payload_bits,
+            buffer_capacity=self.buffer_capacity,
+            arbiter=self.arbiter,
+            packet_format=layer_config.packet_format,
+            routing=self.routing,
+            lock_support=(
+                NocService.LEGACY_LOCK in layer_config.services
+                if self.transport_lock_support is None
+                else self.transport_lock_support
+            ),
+        )
+        address_map = self._build_address_map()
+
+        masters: Dict[str, ProtocolMaster] = {}
+        initiator_nius: Dict[str, InitiatorNiu] = {}
+        for endpoint, spec in enumerate(self.initiators):
+            master_cls = _MASTER_CLASSES[spec.protocol]
+            master = master_cls(
+                spec.name, sim, spec.traffic, **spec.protocol_kwargs
+            )
+            sim.add(master)
+            niu = _make_initiator_niu(spec, fabric, endpoint, address_map, master)
+            sim.add(niu)
+            masters[spec.name] = master
+            initiator_nius[spec.name] = niu
+
+        target_nius: Dict[str, TargetNiu] = {}
+        memories: Dict[str, MemoryDevice] = {}
+        n_init = len(self.initiators)
+        for index, spec in enumerate(self.targets):
+            endpoint = n_init + index
+            socket = SlaveSocket(sim, f"{spec.name}.sock")
+            monitor = (
+                ExclusiveMonitor(name=f"{spec.name}.monitor")
+                if NocService.EXCLUSIVE_ACCESS in layer_config.services
+                else None
+            )
+            locks = (
+                LockManager(name=f"{spec.name}.locks")
+                if NocService.LEGACY_LOCK in layer_config.services
+                else None
+            )
+            target_niu = TargetNiu(
+                f"{spec.name}.niu",
+                fabric,
+                endpoint,
+                socket,
+                max_outstanding=spec.max_outstanding,
+                exclusive_monitor=monitor,
+                lock_manager=locks,
+            )
+            sim.add(target_niu)
+            memory = MemoryDevice(
+                spec.name,
+                socket,
+                size=spec.size,
+                read_latency=spec.read_latency,
+                write_latency=spec.write_latency,
+                per_beat_cycles=spec.per_beat_cycles,
+                error_ranges=spec.error_ranges,
+            )
+            sim.add(memory)
+            target_nius[spec.name] = target_niu
+            memories[spec.name] = memory
+
+        return NocSoc(
+            sim,
+            fabric,
+            layer_config,
+            address_map,
+            masters,
+            initiator_nius,
+            target_nius,
+            memories,
+        )

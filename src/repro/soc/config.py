@@ -1,0 +1,58 @@
+"""Declarative SoC specification records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.niu.tag_policy import TagPolicy
+
+#: Socket families the builder knows how to instantiate.
+KNOWN_PROTOCOLS = ("AHB", "AXI", "OCP", "PVCI", "BVCI", "AVCI", "PROPRIETARY")
+
+
+@dataclass
+class InitiatorSpec:
+    """One master IP + socket + NIU attachment.
+
+    ``traffic`` is any :class:`~repro.protocols.base.TrafficSource`;
+    ``protocol_kwargs`` feed the master model constructor (e.g. OCP
+    ``threads``, AXI ``id_count``); ``policy`` overrides the NIU's
+    default tag policy (benchmarks sweep this).
+    """
+
+    name: str
+    protocol: str
+    traffic: object
+    policy: Optional[TagPolicy] = None
+    protocol_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.protocol = self.protocol.upper()
+        if self.protocol not in KNOWN_PROTOCOLS:
+            raise ValueError(
+                f"initiator {self.name!r}: unknown protocol "
+                f"{self.protocol!r}; known: {KNOWN_PROTOCOLS}"
+            )
+
+
+@dataclass
+class TargetSpec:
+    """One target IP (memory-like) + target NIU attachment.
+
+    ``base=None`` lets the builder pack targets contiguously in the
+    address map.
+    """
+
+    name: str
+    size: int = 1 << 16
+    base: Optional[int] = None
+    read_latency: int = 4
+    write_latency: int = 2
+    per_beat_cycles: int = 0
+    max_outstanding: int = 4
+    error_ranges: Optional[list] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"target {self.name!r}: size must be > 0")

@@ -1,0 +1,38 @@
+"""The NoC transport layer.
+
+"The transport layer defines information format and transport rules
+between NIUs … completely transaction unaware" (paper §1).  Everything in
+this package sees only flits and packet headers (destination, source,
+priority, the LOCK marker) — never transaction semantics.  The single,
+deliberate exception is the legacy LOCK family, which the paper itself
+concedes "impacts transport level".
+"""
+
+from repro.transport.flit import Flit, Packetizer, Reassembler, flits_for_packet
+from repro.transport.flow_control import CreditCounter
+from repro.transport.network import Fabric, Network
+from repro.transport.qos import AgeArbiter, Arbiter, PriorityArbiter, RoundRobinArbiter
+from repro.transport.router import Router
+from repro.transport.routing import RoutingError, compute_routing_tables, xy_route
+from repro.transport.switching import SwitchingMode
+from repro.transport.topology import Topology
+
+__all__ = [
+    "AgeArbiter",
+    "Arbiter",
+    "CreditCounter",
+    "Fabric",
+    "Flit",
+    "Network",
+    "Packetizer",
+    "PriorityArbiter",
+    "Reassembler",
+    "Router",
+    "RoundRobinArbiter",
+    "RoutingError",
+    "SwitchingMode",
+    "Topology",
+    "compute_routing_tables",
+    "flits_for_packet",
+    "xy_route",
+]

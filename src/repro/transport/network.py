@@ -1,0 +1,326 @@
+"""Network assembly: routers + links + injection/ejection ports.
+
+A :class:`Network` is one routing plane.  A :class:`Fabric` is what NIUs
+actually attach to: two independent planes — one for requests, one for
+responses — the standard construction that removes request/response
+protocol deadlock without virtual channels.
+
+NIU-facing API (all packet granularity; flits are internal):
+
+- ``fabric.can_inject_request(ep)`` / ``fabric.inject_request(ep, pkt)``
+- ``fabric.requests(ep)`` — :class:`SimQueue` of request packets arriving
+  at target endpoint ``ep`` (target NIU pops);
+- symmetric ``*_response`` / ``responses(ep)`` for the reply direction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.core.packet import NocPacket, PacketFormat
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.sim.queue import SimQueue
+from repro.transport.flit import Flit, Packetizer, Reassembler, flits_for_packet
+from repro.transport.qos import Arbiter, make_arbiter
+from repro.transport.router import Router
+from repro.transport.routing import (
+    compute_routing_tables,
+    compute_xy_tables,
+    port_local,
+    port_to,
+)
+from repro.transport.switching import SwitchingMode
+from repro.transport.topology import Topology
+
+
+class InjectionPort(Component):
+    """Segments packets from a NIU into flits feeding the local router."""
+
+    def __init__(
+        self,
+        name: str,
+        endpoint: int,
+        packetizer: Packetizer,
+        packet_queue: SimQueue,
+        flit_queue: SimQueue,
+    ) -> None:
+        super().__init__(name)
+        self.endpoint = endpoint
+        self.packetizer = packetizer
+        self.packet_queue = packet_queue
+        self.flit_queue = flit_queue
+        self._pending: List[Flit] = []
+        self.packets_injected = 0
+        self.flits_injected = 0
+
+    def tick(self, cycle: int) -> None:
+        if not self._pending and self.packet_queue:
+            packet = self.packet_queue.pop()
+            packet.injected_cycle = cycle
+            self._pending = self.packetizer.segment(packet)
+            self.packets_injected += 1
+        if self._pending and self.flit_queue.can_push():
+            self.flit_queue.push(self._pending.pop(0))
+            self.flits_injected += 1
+
+
+class EjectionPort(Component):
+    """Reassembles flits arriving at an endpoint back into packets."""
+
+    def __init__(
+        self,
+        name: str,
+        endpoint: int,
+        flit_queue: SimQueue,
+        packet_queue: SimQueue,
+    ) -> None:
+        super().__init__(name)
+        self.endpoint = endpoint
+        self.flit_queue = flit_queue
+        self.packet_queue = packet_queue
+        self.reassembler = Reassembler(name)
+        self.packets_ejected = 0
+
+    def tick(self, cycle: int) -> None:
+        # One flit per cycle; hold the tail until the packet queue has room
+        # so backpressure propagates into the fabric at packet granularity.
+        if not self.flit_queue:
+            return
+        flit = self.flit_queue.peek()
+        if flit.is_tail and not self.packet_queue.can_push():
+            return
+        self.flit_queue.pop()
+        packet = self.reassembler.accept(flit)
+        if packet is not None:
+            self.packet_queue.push(packet)
+            self.packets_ejected += 1
+
+
+class Network:
+    """One routing plane: routers, links, injection/ejection ports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        name: str = "net",
+        mode: SwitchingMode = SwitchingMode.WORMHOLE,
+        flit_payload_bits: int = 128,
+        buffer_capacity: int = 8,
+        arbiter: str = "priority",
+        packet_format: Optional[PacketFormat] = None,
+        routing: str = "table",
+        endpoint_queue_capacity: int = 4,
+        lock_support: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.name = name
+        self.mode = mode
+        self.flit_payload_bits = flit_payload_bits
+        self.buffer_capacity = buffer_capacity
+        self.packetizer = Packetizer(flit_payload_bits, packet_format)
+
+        if routing == "xy":
+            tables = compute_xy_tables(topology)
+        elif routing == "table":
+            tables = compute_routing_tables(topology)
+        else:
+            raise ValueError(f"unknown routing scheme {routing!r}")
+
+        self.routers: Dict[Hashable, Router] = {}
+        for router_id in topology.routers:
+            router = Router(
+                name=f"{name}.r{router_id}",
+                router_id=router_id,
+                table=tables[router_id],
+                mode=mode,
+                buffer_capacity=buffer_capacity,
+                arbiter=make_arbiter(arbiter),
+                lock_support=lock_support,
+            )
+            sim.add(router)
+            self.routers[router_id] = router
+
+        # Inter-router links: router A's output "to:B" feeds router B's
+        # input "in:A" (one queue per direction).
+        for a, b in sorted(topology.graph.edges, key=str):
+            for src, dst in ((a, b), (b, a)):
+                queue = sim.new_queue(
+                    f"{name}.link.{src}->{dst}", capacity=buffer_capacity
+                )
+                self.routers[src].add_output(port_to(dst), queue)
+                self.routers[dst].add_input(f"in:{src}", queue)
+
+        # Endpoint attachment: injection + ejection per endpoint.
+        self._inject_queues: Dict[int, SimQueue] = {}
+        self._eject_queues: Dict[int, SimQueue] = {}
+        self.injection_ports: Dict[int, InjectionPort] = {}
+        self.ejection_ports: Dict[int, EjectionPort] = {}
+        for endpoint in topology.endpoints:
+            router = self.routers[topology.router_of(endpoint)]
+            inj_packets = sim.new_queue(
+                f"{name}.inj.{endpoint}.pkts", capacity=endpoint_queue_capacity
+            )
+            inj_flits = sim.new_queue(
+                f"{name}.inj.{endpoint}.flits", capacity=buffer_capacity
+            )
+            router.add_input(f"inj:{endpoint}", inj_flits)
+            port = InjectionPort(
+                f"{name}.inj.{endpoint}",
+                endpoint,
+                self.packetizer,
+                inj_packets,
+                inj_flits,
+            )
+            sim.add(port)
+            self._inject_queues[endpoint] = inj_packets
+            self.injection_ports[endpoint] = port
+
+            ej_flits = sim.new_queue(
+                f"{name}.ej.{endpoint}.flits", capacity=buffer_capacity
+            )
+            router.add_output(port_local(endpoint), ej_flits)
+            ej_packets = sim.new_queue(
+                f"{name}.ej.{endpoint}.pkts", capacity=endpoint_queue_capacity
+            )
+            eport = EjectionPort(
+                f"{name}.ej.{endpoint}", endpoint, ej_flits, ej_packets
+            )
+            sim.add(eport)
+            self._eject_queues[endpoint] = ej_packets
+            self.ejection_ports[endpoint] = eport
+
+    # ------------------------------------------------------------------ #
+    # NIU-facing API
+    # ------------------------------------------------------------------ #
+    def can_inject(self, endpoint: int) -> bool:
+        return self._inject_queues[endpoint].can_push()
+
+    def inject(self, endpoint: int, packet: NocPacket) -> None:
+        flits = flits_for_packet(
+            packet,
+            self.flit_payload_bits,
+            header_bits=self.packetizer._header_bits,
+        )
+        if self.mode is not SwitchingMode.WORMHOLE and flits > self.buffer_capacity:
+            raise ValueError(
+                f"{self.name}: packet of {flits} flits exceeds buffer "
+                f"capacity {self.buffer_capacity} under {self.mode} switching"
+            )
+        self._inject_queues[endpoint].push(packet)
+
+    def ejected(self, endpoint: int) -> SimQueue:
+        return self._eject_queues[endpoint]
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def total_flits_forwarded(self) -> int:
+        return sum(r.flits_forwarded for r in self.routers.values())
+
+    def total_lock_stall_cycles(self) -> int:
+        return sum(r.lock_stall_cycles for r in self.routers.values())
+
+    def idle(self) -> bool:
+        """No flit anywhere in this plane (used for drain detection)."""
+        for router in self.routers.values():
+            for queue in router.inputs.values():
+                if queue.occupancy:
+                    return False
+        for port in self.injection_ports.values():
+            if port._pending or port.packet_queue.occupancy:
+                return False
+        for queue in self._eject_queues.values():
+            if queue.occupancy:
+                return False
+        for eport in self.ejection_ports.values():
+            if eport.flit_queue.occupancy or eport.reassembler.mid_packet:
+                return False
+        return True
+
+    def mean_link_utilization(self, cycles: int) -> float:
+        if cycles <= 0:
+            return 0.0
+        busy = sum(
+            sum(r.output_busy_cycles.values()) for r in self.routers.values()
+        )
+        ports = sum(len(r.outputs) for r in self.routers.values())
+        return busy / (cycles * ports) if ports else 0.0
+
+
+class Fabric:
+    """Two independent planes: requests and responses.
+
+    This is the object NIUs bind to.  It also exposes the transaction-
+    layer packet format in force, because the paper's configuration flow
+    derives the format from the attached sockets and hands it to every
+    NIU.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        name: str = "noc",
+        mode: SwitchingMode = SwitchingMode.WORMHOLE,
+        flit_payload_bits: int = 128,
+        buffer_capacity: int = 8,
+        arbiter: str = "priority",
+        packet_format: Optional[PacketFormat] = None,
+        routing: str = "table",
+        lock_support: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.name = name
+        self.packet_format = packet_format
+        common = dict(
+            mode=mode,
+            flit_payload_bits=flit_payload_bits,
+            buffer_capacity=buffer_capacity,
+            arbiter=arbiter,
+            packet_format=packet_format,
+            routing=routing,
+            lock_support=lock_support,
+        )
+        self.request_plane = Network(sim, topology, name=f"{name}.req", **common)
+        self.response_plane = Network(sim, topology, name=f"{name}.rsp", **common)
+
+    # request direction (initiator -> target)
+    def can_inject_request(self, endpoint: int) -> bool:
+        return self.request_plane.can_inject(endpoint)
+
+    def inject_request(self, endpoint: int, packet: NocPacket) -> None:
+        self.request_plane.inject(endpoint, packet)
+
+    def requests(self, endpoint: int) -> SimQueue:
+        """Request packets delivered to target endpoint ``endpoint``."""
+        return self.request_plane.ejected(endpoint)
+
+    # response direction (target -> initiator)
+    def can_inject_response(self, endpoint: int) -> bool:
+        return self.response_plane.can_inject(endpoint)
+
+    def inject_response(self, endpoint: int, packet: NocPacket) -> None:
+        self.response_plane.inject(endpoint, packet)
+
+    def responses(self, endpoint: int) -> SimQueue:
+        """Response packets delivered to initiator endpoint ``endpoint``."""
+        return self.response_plane.ejected(endpoint)
+
+    def idle(self) -> bool:
+        return self.request_plane.idle() and self.response_plane.idle()
+
+    def total_flits_forwarded(self) -> int:
+        return (
+            self.request_plane.total_flits_forwarded()
+            + self.response_plane.total_flits_forwarded()
+        )
+
+    def total_lock_stall_cycles(self) -> int:
+        return (
+            self.request_plane.total_lock_stall_cycles()
+            + self.response_plane.total_lock_stall_cycles()
+        )

@@ -1,0 +1,113 @@
+"""Quality-of-service arbitration at switch output ports.
+
+"The transport layer focuses on quality of service and scalability"
+(paper §1).  QoS here is the output-port arbitration policy: when several
+input ports want the same output, who goes first.  Policies only ever see
+the transport-visible header fields (priority, age) — never transaction
+content — preserving layer separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One input port competing for an output port this cycle."""
+
+    port: str
+    priority: int
+    age: int  # cycles since the head flit reached the front
+    urgency: int = 0  # dynamic boost (URGENCY NoC service)
+
+    @property
+    def effective_priority(self) -> int:
+        return self.priority + self.urgency
+
+
+class Arbiter:
+    """Base arbitration policy; subclasses implement :meth:`pick`."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._rr_last: Dict[str, Optional[str]] = {}
+
+    def pick(self, output: str, candidates: Sequence[Candidate]) -> Candidate:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # round-robin helper shared by subclasses
+    # ------------------------------------------------------------------ #
+    def _round_robin(
+        self, output: str, candidates: Sequence[Candidate]
+    ) -> Candidate:
+        ordered = sorted(candidates, key=lambda c: c.port)
+        last = self._rr_last.get(output)
+        if last is not None:
+            after = [c for c in ordered if c.port > last]
+            if after:
+                winner = after[0]
+            else:
+                winner = ordered[0]
+        else:
+            winner = ordered[0]
+        self._rr_last[output] = winner.port
+        return winner
+
+
+class RoundRobinArbiter(Arbiter):
+    """Fair rotation among requesting inputs; ignores priority."""
+
+    name = "round-robin"
+
+    def pick(self, output: str, candidates: Sequence[Candidate]) -> Candidate:
+        if not candidates:
+            raise ValueError("pick() with no candidates")
+        return self._round_robin(output, candidates)
+
+
+class PriorityArbiter(Arbiter):
+    """Strict priority (highest effective priority first), RR tie-break.
+
+    This is the paper's QoS knob: latency-critical flows get a higher
+    packet priority and overtake best-effort traffic at every switch.
+    """
+
+    name = "priority"
+
+    def pick(self, output: str, candidates: Sequence[Candidate]) -> Candidate:
+        if not candidates:
+            raise ValueError("pick() with no candidates")
+        best = max(c.effective_priority for c in candidates)
+        top = [c for c in candidates if c.effective_priority == best]
+        return self._round_robin(output, top)
+
+
+class AgeArbiter(Arbiter):
+    """Oldest-first arbitration — bounds worst-case waiting time."""
+
+    name = "age"
+
+    def pick(self, output: str, candidates: Sequence[Candidate]) -> Candidate:
+        if not candidates:
+            raise ValueError("pick() with no candidates")
+        oldest = max(c.age for c in candidates)
+        top = [c for c in candidates if c.age == oldest]
+        return self._round_robin(output, top)
+
+
+ARBITERS = {
+    cls.name: cls for cls in (RoundRobinArbiter, PriorityArbiter, AgeArbiter)
+}
+
+
+def make_arbiter(name: str) -> Arbiter:
+    try:
+        return ARBITERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown arbiter {name!r}; known: {sorted(ARBITERS)}"
+        ) from None

@@ -1,0 +1,269 @@
+"""Cycle-level NoC switch (router) model.
+
+The router is deliberately *transaction-unaware*: per the paper, it reads
+only the head-flit routing fields (destination, source, priority, the
+LOCK marker) and moves opaque flits.  Micro-architecture:
+
+- one FIFO buffer per input port (upstream routers / injection ports push
+  into it — the staged queue gives one cycle per hop);
+- per-output arbitration each cycle (policy pluggable, see
+  :mod:`repro.transport.qos`); one flit per output per cycle;
+- wormhole allocation: once a head flit wins an output, that output is
+  owned by the input until the tail flit passes (no virtual channels —
+  matching the simple switch the paper describes);
+- switching-mode gate on head departure (wormhole / store-and-forward /
+  virtual cut-through, see :mod:`repro.transport.switching`);
+- **LOCK handling** — the one transaction-family leak the paper concedes:
+  after a ``LOCK``/``READEX`` request's tail passes an output port, the
+  port admits only packets from the locking master until that master's
+  ``UNLOCK``/``STORE_COND_LOCKED`` tail passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.core.packet import PacketKind
+from repro.core.transaction import Opcode
+from repro.sim.component import Component
+from repro.sim.queue import SimQueue
+from repro.transport.flit import Flit
+from repro.transport.qos import Arbiter, Candidate, PriorityArbiter
+from repro.transport.switching import SwitchingMode
+
+_LOCK_SETTERS = (Opcode.LOCK, Opcode.READEX)
+_LOCK_CLEARERS = (Opcode.UNLOCK, Opcode.STORE_COND_LOCKED)
+
+
+class Router(Component):
+    """One switch.  Wiring is done by :class:`~repro.transport.network.Network`."""
+
+    def __init__(
+        self,
+        name: str,
+        router_id: Hashable,
+        table: Dict[int, str],
+        mode: SwitchingMode = SwitchingMode.WORMHOLE,
+        buffer_capacity: int = 8,
+        arbiter: Optional[Arbiter] = None,
+        lock_support: bool = True,
+    ) -> None:
+        super().__init__(name)
+        self.router_id = router_id
+        self.table = table
+        self.mode = mode
+        self.buffer_capacity = buffer_capacity
+        self.arbiter = arbiter if arbiter is not None else PriorityArbiter()
+        self.lock_support = lock_support
+        self.inputs: Dict[str, SimQueue] = {}
+        self.outputs: Dict[str, SimQueue] = {}
+        # per-input state
+        self._input_alloc: Dict[str, Optional[str]] = {}
+        self._input_head: Dict[str, Optional[Flit]] = {}
+        self._input_age: Dict[str, int] = {}
+        # per-output state
+        self._output_owner: Dict[str, Optional[str]] = {}
+        self._output_lock: Dict[str, Optional[int]] = {}
+        # stats
+        self.flits_forwarded = 0
+        self.packets_forwarded = 0
+        self.lock_stall_cycles = 0
+        self.output_busy_cycles: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # wiring (Network calls these during construction)
+    # ------------------------------------------------------------------ #
+    def add_input(self, port: str, queue: SimQueue) -> SimQueue:
+        if port in self.inputs:
+            raise ValueError(f"{self.name}: duplicate input port {port!r}")
+        self.inputs[port] = queue
+        self._input_alloc[port] = None
+        self._input_head[port] = None
+        self._input_age[port] = 0
+        return queue
+
+    def add_output(self, port: str, queue: SimQueue) -> SimQueue:
+        if port in self.outputs:
+            raise ValueError(f"{self.name}: duplicate output port {port!r}")
+        self.outputs[port] = queue
+        self._output_owner[port] = None
+        self._output_lock[port] = None
+        self.output_busy_cycles[port] = 0
+        return queue
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _route(self, dest: int) -> str:
+        try:
+            return self.table[dest]
+        except KeyError:
+            raise KeyError(
+                f"{self.name}: no route to endpoint {dest} "
+                f"(table has {sorted(self.table)})"
+            ) from None
+
+    def _flits_of_front_packet(self, queue: SimQueue, head: Flit) -> int:
+        """Contiguous flits of the front packet currently buffered."""
+        buffered = 0
+        for flit in queue:
+            if flit.packet_id != head.packet_id:
+                break
+            buffered += 1
+            if buffered == head.count:
+                break
+        return buffered
+
+    def _downstream_free(self, port: str) -> int:
+        queue = self.outputs[port]
+        if queue.capacity is None:
+            return 1 << 30
+        return queue.capacity - queue.occupancy
+
+    def _lock_blocks(self, port: str, flit: Flit) -> bool:
+        holder = self._output_lock[port]
+        return holder is not None and holder != flit.src
+
+    # ------------------------------------------------------------------ #
+    # the cycle
+    # ------------------------------------------------------------------ #
+    def tick(self, cycle: int) -> None:
+        # Phase A: what does each input want to do?
+        desires: Dict[str, str] = {}  # input -> output
+        head_ready: Dict[str, bool] = {}
+        for in_port in sorted(self.inputs):
+            queue = self.inputs[in_port]
+            if not queue:
+                self._input_age[in_port] = 0
+                continue
+            flit = queue.peek()
+            alloc = self._input_alloc[in_port]
+            if alloc is not None:
+                # mid-packet: continue on the allocated output
+                desires[in_port] = alloc
+                head_ready[in_port] = True  # body flits only need space
+            else:
+                if not flit.is_head:
+                    raise RuntimeError(
+                        f"{self.name}:{in_port}: body flit {flit!r} at front "
+                        f"with no allocation (framing bug)"
+                    )
+                out_port = self._route(flit.dest)
+                desires[in_port] = out_port
+                head_ready[in_port] = self.mode.head_may_depart(
+                    flits_buffered=self._flits_of_front_packet(queue, flit),
+                    packet_flits=flit.count,
+                    downstream_free=self._downstream_free(out_port),
+                )
+
+        # Phase B: per-output arbitration and transfer.
+        sent_inputs: List[str] = []
+        for out_port in sorted(self.outputs):
+            out_queue = self.outputs[out_port]
+            owner = self._output_owner[out_port]
+            if owner is not None:
+                # Continue the in-flight packet; nobody else may interleave.
+                if (
+                    desires.get(owner) == out_port
+                    and self._input_alloc[owner] == out_port
+                    and out_queue.can_push()
+                ):
+                    self._transfer(owner, out_port, cycle)
+                    sent_inputs.append(owner)
+                continue
+            candidates: List[Candidate] = []
+            lock_stalled = False
+            for in_port, want in desires.items():
+                if want != out_port or not head_ready.get(in_port):
+                    continue
+                if self._input_alloc[in_port] is not None:
+                    continue  # mid-packet inputs handled via owner path
+                flit = self.inputs[in_port].peek()
+                if self.lock_support and self._lock_blocks(out_port, flit):
+                    lock_stalled = True
+                    continue
+                packet = flit.packet
+                urgency = packet.user.get("urgency", 0) if packet else 0
+                candidates.append(
+                    Candidate(
+                        port=in_port,
+                        priority=flit.priority,
+                        age=self._input_age[in_port],
+                        urgency=urgency,
+                    )
+                )
+            if lock_stalled:
+                self.lock_stall_cycles += 1
+            if not candidates or not out_queue.can_push():
+                continue
+            winner = self.arbiter.pick(out_port, candidates)
+            self._transfer(winner.port, out_port, cycle)
+            sent_inputs.append(winner.port)
+
+        # Phase C: age heads that waited.
+        for in_port in self.inputs:
+            if self.inputs[in_port] and in_port not in sent_inputs:
+                self._input_age[in_port] += 1
+            else:
+                self._input_age[in_port] = 0
+
+    def _transfer(self, in_port: str, out_port: str, cycle: int) -> None:
+        flit = self.inputs[in_port].pop()
+        self.outputs[out_port].push(flit)
+        self.flits_forwarded += 1
+        self.output_busy_cycles[out_port] += 1
+        if flit.is_head:
+            self._input_alloc[in_port] = out_port
+            self._output_owner[out_port] = in_port
+            self._input_head[in_port] = flit
+            self.simulator.trace.log(
+                cycle,
+                self.name,
+                "route",
+                packet=flit.packet_id,
+                dest=flit.dest,
+                via=out_port,
+            )
+        if flit.is_tail:
+            head = self._input_head[in_port]
+            assert head is not None
+            self._input_alloc[in_port] = None
+            self._output_owner[out_port] = None
+            self._input_head[in_port] = None
+            self.packets_forwarded += 1
+            if self.lock_support and head.lock_related and head.packet is not None:
+                self._update_lock(out_port, head, cycle)
+
+    def _update_lock(self, out_port: str, head: Flit, cycle: int) -> None:
+        packet = head.packet
+        assert packet is not None
+        if packet.kind is not PacketKind.REQUEST:
+            return
+        if packet.opcode in _LOCK_SETTERS:
+            self._output_lock[out_port] = head.src
+            self.simulator.trace.log(
+                cycle, self.name, "lock_set", port=out_port, master=head.src
+            )
+        elif packet.opcode in _LOCK_CLEARERS:
+            if self._output_lock[out_port] == head.src:
+                self._output_lock[out_port] = None
+                self.simulator.trace.log(
+                    cycle, self.name, "lock_clear", port=out_port, master=head.src
+                )
+
+    # ------------------------------------------------------------------ #
+    # introspection (tests / benches)
+    # ------------------------------------------------------------------ #
+    def locked_outputs(self) -> Dict[str, int]:
+        return {
+            port: holder
+            for port, holder in self._output_lock.items()
+            if holder is not None
+        }
+
+    def utilization(self, cycles: int) -> Dict[str, float]:
+        if cycles <= 0:
+            return {port: 0.0 for port in self.outputs}
+        return {
+            port: busy / cycles for port, busy in self.output_busy_cycles.items()
+        }

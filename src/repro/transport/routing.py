@@ -1,0 +1,94 @@
+"""Deterministic routing.
+
+Two schemes, both deadlock-free on the topologies the benches use:
+
+- **table routing** — per-router lookup tables computed from BFS shortest
+  paths with lexicographic tie-breaking (deterministic across runs);
+- **XY routing** — dimension-ordered routing for meshes/tori whose router
+  ids are ``(x, y)`` tuples; provably deadlock-free on meshes.
+
+Port naming convention (shared with :mod:`repro.transport.router`):
+``to:<router>`` for an inter-router link towards ``<router>`` and
+``local:<endpoint>`` for the ejection port of an attached endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+import networkx as nx
+
+from repro.transport.topology import Topology
+
+RouterId = Hashable
+
+
+class RoutingError(RuntimeError):
+    """No route exists (configuration bug — topologies are connected)."""
+
+
+def port_to(neighbor: RouterId) -> str:
+    return f"to:{neighbor}"
+
+
+def port_local(endpoint: int) -> str:
+    return f"local:{endpoint}"
+
+
+def compute_routing_tables(
+    topology: Topology,
+) -> Dict[RouterId, Dict[int, str]]:
+    """``tables[router][endpoint] -> output port name``.
+
+    Next hops follow BFS shortest paths; among equal-length choices the
+    lexicographically smallest neighbour (by ``str``) wins, making tables
+    reproducible regardless of graph-internal ordering.
+    """
+    tables: Dict[RouterId, Dict[int, str]] = {r: {} for r in topology.routers}
+    for endpoint in topology.endpoints:
+        home = topology.router_of(endpoint)
+        # BFS distances from the endpoint's home router.
+        dist = nx.single_source_shortest_path_length(topology.graph, home)
+        for router in topology.routers:
+            if router == home:
+                tables[router][endpoint] = port_local(endpoint)
+                continue
+            best = min(
+                (n for n in topology.graph.neighbors(router) if dist[n] < dist[router]),
+                key=str,
+            )
+            tables[router][endpoint] = port_to(best)
+    return tables
+
+
+def xy_route(router: RouterId, dest_router: RouterId) -> RouterId:
+    """Next router on the X-then-Y path (mesh/torus with tuple ids)."""
+    if not (isinstance(router, tuple) and isinstance(dest_router, tuple)):
+        raise RoutingError(
+            f"XY routing needs (x, y) router ids, got {router!r} -> {dest_router!r}"
+        )
+    x, y = router
+    dx, dy = dest_router
+    if x != dx:
+        return (x + (1 if dx > x else -1), y)
+    if y != dy:
+        return (x, y + (1 if dy > y else -1))
+    raise RoutingError(f"xy_route called with router == dest ({router!r})")
+
+
+def compute_xy_tables(topology: Topology) -> Dict[RouterId, Dict[int, str]]:
+    """Dimension-ordered tables for mesh topologies (tuple router ids)."""
+    tables: Dict[RouterId, Dict[int, str]] = {r: {} for r in topology.routers}
+    for endpoint in topology.endpoints:
+        home = topology.router_of(endpoint)
+        for router in topology.routers:
+            if router == home:
+                tables[router][endpoint] = port_local(endpoint)
+            else:
+                nxt = xy_route(router, home)
+                if not topology.graph.has_edge(router, nxt):
+                    raise RoutingError(
+                        f"XY next hop {router!r}->{nxt!r} is not a mesh link"
+                    )
+                tables[router][endpoint] = port_to(nxt)
+    return tables

@@ -1,0 +1,62 @@
+"""Packet switching disciplines.
+
+Paper §1: "wormhole or store-and-forward packet handling makes no
+difference at the transaction level".  The switching mode decides *when*
+a packet's head flit may leave a router:
+
+- **WORMHOLE** — immediately; the packet snakes through, occupying a
+  channel per hop (lowest latency, lowest buffering).
+- **STORE_AND_FORWARD** — only once the entire packet is buffered in this
+  router (highest latency, per-hop integrity).
+- **VIRTUAL_CUT_THROUGH** — immediately, but only if the downstream
+  buffer can hold the whole packet (wormhole latency, no mid-link stalls).
+
+Benchmark E5 runs identical workloads under all three and asserts that
+transaction-level results are unchanged while transport metrics differ.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SwitchingMode(enum.Enum):
+    WORMHOLE = "WORMHOLE"
+    STORE_AND_FORWARD = "STORE_AND_FORWARD"
+    VIRTUAL_CUT_THROUGH = "VIRTUAL_CUT_THROUGH"
+
+    def head_may_depart(
+        self,
+        flits_buffered: int,
+        packet_flits: int,
+        downstream_free: int,
+    ) -> bool:
+        """May the head flit of a packet leave the current router?
+
+        Parameters
+        ----------
+        flits_buffered:
+            Flits of *this* packet already sitting in the local input
+            buffer (head included).
+        packet_flits:
+            Total flits in the packet.
+        downstream_free:
+            Free slots in the downstream buffer this cycle.
+        """
+        if downstream_free < 1:
+            return False
+        if self is SwitchingMode.WORMHOLE:
+            return True
+        if self is SwitchingMode.STORE_AND_FORWARD:
+            return flits_buffered >= packet_flits
+        # virtual cut-through
+        return downstream_free >= packet_flits
+
+    def min_buffer_for(self, max_packet_flits: int) -> int:
+        """Smallest legal input-buffer capacity under this mode."""
+        if self is SwitchingMode.WORMHOLE:
+            return 1
+        return max_packet_flits
+
+    def __str__(self) -> str:
+        return self.value

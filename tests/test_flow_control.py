@@ -1,0 +1,83 @@
+"""Unit + property tests for the credit counter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.transport.flow_control import CreditCounter
+
+
+class TestBasics:
+    def test_initial_credits_equal_capacity(self):
+        c = CreditCounter(4)
+        assert c.available == 4
+        assert c.can_send(4)
+        assert not c.can_send(5)
+
+    def test_consume_and_immediate_return(self):
+        c = CreditCounter(2, return_latency=0)
+        c.consume(2)
+        assert c.available == 0
+        c.give_back()
+        assert c.available == 1
+
+    def test_delayed_return(self):
+        c = CreditCounter(2, return_latency=2)
+        c.consume(1)
+        c.give_back(1)
+        assert c.available == 1  # not yet matured
+        c.advance()
+        assert c.available == 1
+        c.advance()
+        assert c.available == 2
+
+    def test_underflow_rejected(self):
+        c = CreditCounter(1)
+        c.consume(1)
+        with pytest.raises(RuntimeError):
+            c.consume(1)
+
+    def test_overflow_rejected(self):
+        c = CreditCounter(1, return_latency=0)
+        with pytest.raises(RuntimeError):
+            c.give_back(1)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            CreditCounter(0)
+        with pytest.raises(ValueError):
+            CreditCounter(1, return_latency=-1)
+        with pytest.raises(ValueError):
+            CreditCounter(1).give_back(0)
+
+    def test_outstanding_accounting(self):
+        c = CreditCounter(4, return_latency=3)
+        c.consume(3)
+        c.give_back(2)
+        assert c.outstanding == 3  # 1 held + 2 in the return loop
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    latency=st.integers(min_value=0, max_value=4),
+    script=st.lists(
+        st.sampled_from(["send", "ret", "tick"]), min_size=1, max_size=200
+    ),
+)
+def test_property_credits_conserved(capacity, latency, script):
+    """available + outstanding == capacity at every step, and the sender
+    can never overrun the receiver buffer."""
+    c = CreditCounter(capacity, return_latency=latency)
+    receiver_occupancy = 0
+    for action in script:
+        if action == "send" and c.can_send():
+            c.consume()
+            receiver_occupancy += 1
+        elif action == "ret" and receiver_occupancy > 0:
+            receiver_occupancy -= 1
+            c.give_back()
+        elif action == "tick":
+            c.advance()
+        assert 0 <= c.available <= capacity
+        assert c.available + c.outstanding == capacity
+        assert receiver_occupancy <= capacity

@@ -1,0 +1,114 @@
+"""Unit tests for the analytic gate-count model (claim C3 / E4)."""
+
+import pytest
+
+from repro.core.ordering import OrderingModel
+from repro.core.packet import PacketFormat, UserBit
+from repro.niu.gate_count import (
+    GateReport,
+    bridge_gate_count,
+    niu_gate_count,
+    state_entry_bits,
+)
+from repro.niu.tag_policy import TagPolicy
+
+
+def policy(outstanding=4, multi_target=True, ordering=OrderingModel.ID_BASED):
+    return TagPolicy(
+        ordering=ordering,
+        max_outstanding=outstanding,
+        per_stream_outstanding=outstanding,
+        multi_target=multi_target,
+    )
+
+
+FMT = PacketFormat()
+
+
+class TestScalingShape:
+    def test_gates_grow_monotonically_with_outstanding(self):
+        totals = [
+            niu_gate_count("AXI", policy(n), FMT).total for n in (1, 2, 4, 8, 16)
+        ]
+        assert totals == sorted(totals)
+        assert totals[-1] > totals[0]
+
+    def test_growth_is_linear_in_outstanding(self):
+        """state table + CAM + reorder scale linearly: doubling outstanding
+        roughly doubles the variable part."""
+        g1 = niu_gate_count("AXI", policy(4), FMT)
+        g2 = niu_gate_count("AXI", policy(8), FMT)
+        fixed = g1.breakdown["frontend_fsm"] + g1.breakdown["channel_regs"] + g1.breakdown["packet_datapath"]
+        var1 = g1.total - fixed
+        var2 = g2.total - fixed
+        assert var2 == pytest.approx(2 * var1, rel=0.01)
+
+    def test_multi_target_surcharge(self):
+        cheap = niu_gate_count("AXI", policy(8, multi_target=False), FMT)
+        rich = niu_gate_count("AXI", policy(8, multi_target=True), FMT)
+        assert rich.total > cheap.total
+        assert "reorder_buffer" in rich.breakdown
+        assert "reorder_buffer" not in cheap.breakdown
+
+    def test_protocol_offsets(self):
+        """Frontend complexity ordering: PVCI < AHB < OCP < AXI."""
+        p = policy(4, ordering=OrderingModel.FULLY_ORDERED)
+        pvci = niu_gate_count("PVCI", p, FMT).total
+        ahb = niu_gate_count("AHB", p, FMT).total
+        p_ocp = policy(4, ordering=OrderingModel.THREADED)
+        ocp = niu_gate_count("OCP", p_ocp, FMT).total
+        axi = niu_gate_count("AXI", policy(4), FMT).total
+        assert pvci < ahb < ocp < axi
+
+    def test_service_state_costs(self):
+        base = niu_gate_count("AXI", policy(4), FMT)
+        with_excl = niu_gate_count(
+            "AXI", policy(4), FMT, exclusive_monitor_entries=8
+        )
+        with_lock = niu_gate_count("AHB", policy(4, ordering=OrderingModel.FULLY_ORDERED), FMT, lock_manager=True)
+        assert with_excl.total > base.total
+        assert "lock_manager" in with_lock.breakdown
+
+    def test_wider_format_costs_more_datapath(self):
+        wide = PacketFormat(user_bits=[UserBit("u", 8)])
+        a = niu_gate_count("AXI", policy(4), FMT)
+        b = niu_gate_count("AXI", policy(4), wide)
+        assert b.breakdown["packet_datapath"] > a.breakdown["packet_datapath"]
+
+
+class TestBridgeComparison:
+    def test_bridge_carries_two_frontends(self):
+        report = bridge_gate_count("AXI")
+        assert "socket_side_fsm" in report.breakdown
+        assert "bus_side_fsm" in report.breakdown
+
+    def test_bridge_heavier_than_minimal_niu_frontend(self):
+        """Claim C1: a bridge duplicates protocol machinery a NIU shares
+        with the uniform packet datapath."""
+        bridge = bridge_gate_count("AXI").total
+        niu_minimal = niu_gate_count("AXI", policy(1, multi_target=False), FMT)
+        frontend_only = (
+            niu_minimal.breakdown["frontend_fsm"]
+            + niu_minimal.breakdown["channel_regs"]
+        )
+        assert bridge > frontend_only
+
+
+class TestPlumbing:
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError):
+            niu_gate_count("PCIE", policy(1), FMT)
+
+    def test_entry_bits_grow_with_payload(self):
+        assert state_entry_bits(FMT, data_beats=4) > state_entry_bits(FMT)
+
+    def test_report_describe(self):
+        report = niu_gate_count("OCP", policy(2, ordering=OrderingModel.THREADED), FMT)
+        text = report.describe()
+        assert "OCP NIU" in text and "state_table" in text
+
+    def test_report_accumulates(self):
+        r = GateReport("X")
+        r.add("a", 10)
+        r.add("a", 5)
+        assert r.total == 15 and r.breakdown["a"] == 15

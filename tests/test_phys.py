@@ -1,0 +1,176 @@
+"""Physical-layer tests: links, clock domains, CDC FIFOs."""
+
+import pytest
+
+from repro.phys.cdc import CdcFifo
+from repro.phys.clocking import ClockDomain, ClockedRegion
+from repro.phys.link import PhysicalLink, phits_per_flit
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.transport.flit import Flit
+
+
+def flit(seq=0, count=1):
+    return Flit(
+        packet_id=1, seq=seq, count=count, dest=0, src=1, priority=0,
+        lock_related=False,
+    )
+
+
+class TestSerialization:
+    def test_phits_per_flit(self):
+        assert phits_per_flit(72, 72) == 1
+        assert phits_per_flit(72, 36) == 2
+        assert phits_per_flit(72, 16) == 5
+
+    def test_bad_widths(self):
+        with pytest.raises(ValueError):
+            phits_per_flit(0, 8)
+
+    def _transit_cycles(self, phit_bits, pipeline=0):
+        sim = Simulator()
+        up = sim.new_queue("up", capacity=4)
+        down = sim.new_queue("down", capacity=4)
+        link = sim.add(
+            PhysicalLink(
+                "link", up, down, flit_bits=72, phit_bits=phit_bits,
+                pipeline_latency=pipeline,
+            )
+        )
+        up.push(flit())
+        sim.run_until(lambda: bool(down), max_cycles=200)
+        return sim.cycle, link
+
+    def test_full_width_is_fast(self):
+        full, __ = self._transit_cycles(72)
+        half, __ = self._transit_cycles(36)
+        quarter, __ = self._transit_cycles(18)
+        assert full < half < quarter
+
+    def test_pipeline_latency_adds(self):
+        base, __ = self._transit_cycles(72, pipeline=0)
+        piped, __ = self._transit_cycles(72, pipeline=3)
+        assert piped == base + 3
+
+    def test_phit_accounting(self):
+        __, link = self._transit_cycles(36)
+        assert link.flits_carried == 1
+        assert link.phits_carried == 2
+
+    def test_bandwidth_model(self):
+        sim = Simulator()
+        up, down = sim.new_queue("u"), sim.new_queue("d")
+        link = PhysicalLink("l", up, down, flit_bits=72, phit_bits=36)
+        assert link.bandwidth_bits_per_cycle == 36.0
+        assert link.latency_cycles == 2
+
+    def test_backpressure_no_loss(self):
+        """A full downstream queue stalls the link; nothing is dropped."""
+        sim = Simulator()
+        up = sim.new_queue("up", capacity=16)
+        down = sim.new_queue("down", capacity=1)
+        sim.add(PhysicalLink("link", up, down, flit_bits=72, phit_bits=72))
+        for i in range(8):
+            up.push(flit(seq=0, count=1))
+        received = []
+        def pump():
+            # consume at most one flit every 3 cycles
+            if sim.cycle % 3 == 0 and down:
+                received.append(down.pop())
+            return len(received) >= 8
+        sim.run_until(pump, max_cycles=500)
+        assert len(received) == 8
+
+
+class TestClockDomains:
+    def test_edges(self):
+        slow = ClockDomain("slow", divisor=3)
+        assert [slow.active(c) for c in range(6)] == [
+            True, False, False, True, False, False,
+        ]
+
+    def test_phase(self):
+        shifted = ClockDomain("s", divisor=2, phase=1)
+        assert not shifted.active(0)
+        assert shifted.active(1)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            ClockDomain("x", divisor=0)
+        with pytest.raises(ValueError):
+            ClockDomain("x", divisor=2, phase=2)
+
+    def test_clocked_region_ticks_at_ratio(self):
+        class Probe(Component):
+            def __init__(self):
+                super().__init__("probe")
+                self.local_cycles = []
+            def tick(self, cycle):
+                self.local_cycles.append(cycle)
+
+        sim = Simulator()
+        region = ClockedRegion("slow", ClockDomain("slow", divisor=4))
+        probe = region.add(Probe())
+        sim.add(region)
+        sim.run(12)
+        assert len(probe.local_cycles) == 3
+
+
+class TestCdcFifo:
+    def _fifo(self, prod_div=1, cons_div=1, stages=2, capacity=4):
+        sim = Simulator()
+        fifo = sim.add(
+            CdcFifo(
+                "cdc",
+                ClockDomain("p", prod_div),
+                ClockDomain("c", cons_div),
+                capacity=capacity,
+                sync_stages=stages,
+            )
+        )
+        return sim, fifo
+
+    def test_sync_latency_in_consumer_edges(self):
+        sim, fifo = self._fifo(stages=2)
+        fifo.push("x")
+        sim.run(1)
+        assert not fifo.can_pop()
+        sim.run(1)
+        assert fifo.can_pop()
+        assert fifo.pop() == "x"
+
+    def test_slow_consumer_clock_stretches_latency(self):
+        sim, fifo = self._fifo(cons_div=4, stages=2)
+        fifo.push("x")
+        sim.run(4)
+        assert not fifo.can_pop()
+        sim.run(4)
+        assert fifo.can_pop()
+
+    def test_order_preserved(self):
+        sim, fifo = self._fifo()
+        fifo.push(1)
+        fifo.push(2)
+        sim.run(3)
+        assert fifo.pop() == 1
+        assert fifo.pop() == 2
+
+    def test_capacity_includes_crossing(self):
+        sim, fifo = self._fifo(capacity=2)
+        fifo.push(1)
+        fifo.push(2)
+        assert not fifo.can_push()
+        with pytest.raises(OverflowError):
+            fifo.push(3)
+
+    def test_pop_empty_raises(self):
+        __, fifo = self._fifo()
+        with pytest.raises(IndexError):
+            fifo.pop()
+
+    def test_bad_params(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            CdcFifo("x", ClockDomain("a"), ClockDomain("b"), capacity=0)
+        with pytest.raises(ValueError):
+            CdcFifo("x", ClockDomain("a"), ClockDomain("b"), sync_stages=0)

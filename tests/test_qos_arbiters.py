@@ -1,0 +1,79 @@
+"""Unit tests for output-port arbitration policies."""
+
+import pytest
+
+from repro.transport.qos import (
+    AgeArbiter,
+    Candidate,
+    PriorityArbiter,
+    RoundRobinArbiter,
+    make_arbiter,
+)
+
+
+def cand(port, priority=0, age=0, urgency=0):
+    return Candidate(port=port, priority=priority, age=age, urgency=urgency)
+
+
+class TestRoundRobin:
+    def test_rotates_fairly(self):
+        arb = RoundRobinArbiter()
+        candidates = [cand("a"), cand("b"), cand("c")]
+        winners = [arb.pick("out", candidates).port for __ in range(6)]
+        assert winners == ["a", "b", "c", "a", "b", "c"]
+
+    def test_skips_absent_candidates(self):
+        arb = RoundRobinArbiter()
+        assert arb.pick("out", [cand("a"), cand("b")]).port == "a"
+        assert arb.pick("out", [cand("c")]).port == "c"
+        assert arb.pick("out", [cand("a"), cand("b")]).port == "a"
+
+    def test_per_output_state(self):
+        arb = RoundRobinArbiter()
+        assert arb.pick("o1", [cand("a"), cand("b")]).port == "a"
+        assert arb.pick("o2", [cand("a"), cand("b")]).port == "a"
+
+    def test_no_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter().pick("out", [])
+
+
+class TestPriority:
+    def test_highest_priority_wins(self):
+        arb = PriorityArbiter()
+        winner = arb.pick("out", [cand("a", 0), cand("b", 2), cand("c", 1)])
+        assert winner.port == "b"
+
+    def test_ties_round_robin(self):
+        arb = PriorityArbiter()
+        candidates = [cand("a", 1), cand("b", 1)]
+        winners = [arb.pick("out", candidates).port for __ in range(4)]
+        assert winners == ["a", "b", "a", "b"]
+
+    def test_urgency_boost_applies(self):
+        arb = PriorityArbiter()
+        winner = arb.pick("out", [cand("a", 1), cand("b", 0, urgency=2)])
+        assert winner.port == "b"
+
+
+class TestAge:
+    def test_oldest_wins(self):
+        arb = AgeArbiter()
+        winner = arb.pick("out", [cand("a", age=3), cand("b", age=9)])
+        assert winner.port == "b"
+
+    def test_age_ignores_priority(self):
+        arb = AgeArbiter()
+        winner = arb.pick("out", [cand("a", 5, age=0), cand("b", 0, age=1)])
+        assert winner.port == "b"
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_arbiter("priority"), PriorityArbiter)
+        assert isinstance(make_arbiter("round-robin"), RoundRobinArbiter)
+        assert isinstance(make_arbiter("age"), AgeArbiter)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_arbiter("random")

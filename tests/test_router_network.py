@@ -1,0 +1,246 @@
+"""Router and network integration tests (transport layer behaviour)."""
+
+import pytest
+
+from repro.core.packet import NocPacket, PacketKind
+from repro.core.transaction import Opcode
+from repro.sim.kernel import Simulator
+from repro.transport import topology as topo
+from repro.transport.network import Fabric, Network
+from repro.transport.switching import SwitchingMode
+
+
+def request(slv, mst, opcode=Opcode.LOAD, beats=1, priority=0, txn_id=-1, payload=None):
+    return NocPacket(
+        kind=PacketKind.REQUEST,
+        opcode=opcode,
+        slv_addr=slv,
+        mst_addr=mst,
+        tag=0,
+        beats=beats,
+        payload=payload,
+        priority=priority,
+        txn_id=txn_id,
+    )
+
+
+def drain(net, endpoint, sim, count, max_cycles=5000):
+    got = []
+    def pump():
+        q = net.ejected(endpoint)
+        while q:
+            got.append(q.pop())
+        return len(got) >= count
+    sim.run_until(pump, max_cycles=max_cycles)
+    return got
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("mode", list(SwitchingMode))
+    def test_point_to_point(self, mode):
+        sim = Simulator()
+        net = Network(sim, topo.mesh(3, 3), mode=mode, buffer_capacity=16)
+        net.inject(0, request(8, 0, txn_id=1))
+        got = drain(net, 8, sim, 1)
+        assert got[0].txn_id == 1
+
+    @pytest.mark.parametrize(
+        "topology",
+        [topo.ring(4), topo.star(4, endpoints=4), topo.single_router(4),
+         topo.tree(2, 2, endpoints=4), topo.torus(3, 3)],
+        ids=lambda t: t.name,
+    )
+    def test_all_pairs_all_topologies(self, topology):
+        sim = Simulator()
+        net = Network(sim, topology)
+        eps = topology.endpoints
+        expected = 0
+        for src in eps:
+            for dst in eps:
+                if src == dst:
+                    continue
+                sim.run_until(lambda: net.can_inject(src), max_cycles=1000)
+                net.inject(src, request(dst, src, txn_id=src * 100 + dst))
+                expected += 1
+        received = []
+        def pump():
+            for ep in eps:
+                q = net.ejected(ep)
+                while q:
+                    received.append(q.pop())
+            return len(received) >= expected
+        sim.run_until(pump, max_cycles=20_000)
+        assert len(received) == expected
+
+    def test_same_pair_fifo_order(self):
+        """Packets between one (src, dst) pair never reorder — the
+        guarantee NIU response matching relies on."""
+        sim = Simulator()
+        net = Network(sim, topo.mesh(3, 3))
+        sent = 0
+        received = []
+        def pump():
+            nonlocal sent
+            if sent < 20 and net.can_inject(0):
+                net.inject(0, request(8, 0, txn_id=sent))
+                sent += 1
+            q = net.ejected(8)
+            while q:
+                received.append(q.pop().txn_id)
+            return len(received) >= 20
+        sim.run_until(pump, max_cycles=10_000)
+        assert received == list(range(20))
+
+    def test_multi_flit_payload_survives(self):
+        sim = Simulator()
+        net = Network(sim, topo.mesh(2, 2))
+        payload = list(range(16))
+        net.inject(
+            0, request(3, 0, opcode=Opcode.STORE, beats=16, payload=payload)
+        )
+        got = drain(net, 3, sim, 1)
+        assert got[0].payload == payload
+
+    def test_xy_routing_delivers(self):
+        sim = Simulator()
+        net = Network(sim, topo.mesh(3, 3), routing="xy")
+        net.inject(0, request(8, 0, txn_id=5))
+        got = drain(net, 8, sim, 1)
+        assert got[0].txn_id == 5
+
+
+class TestSwitchingModeBehaviour:
+    def _latency(self, mode, beats):
+        sim = Simulator()
+        net = Network(
+            sim, topo.mesh(3, 3), mode=mode, buffer_capacity=32
+        )
+        net.inject(
+            0,
+            request(8, 0, opcode=Opcode.STORE, beats=beats,
+                    payload=[0] * beats),
+        )
+        drain(net, 8, sim, 1)
+        return sim.cycle
+
+    def test_saf_slower_than_wormhole_for_long_packets(self):
+        wormhole = self._latency(SwitchingMode.WORMHOLE, 16)
+        saf = self._latency(SwitchingMode.STORE_AND_FORWARD, 16)
+        assert saf > wormhole
+
+    def test_vct_matches_wormhole_unloaded(self):
+        wormhole = self._latency(SwitchingMode.WORMHOLE, 16)
+        vct = self._latency(SwitchingMode.VIRTUAL_CUT_THROUGH, 16)
+        assert vct == wormhole
+
+    def test_saf_oversize_packet_rejected_at_injection(self):
+        sim = Simulator()
+        net = Network(
+            sim,
+            topo.mesh(2, 2),
+            mode=SwitchingMode.STORE_AND_FORWARD,
+            buffer_capacity=4,
+        )
+        with pytest.raises(ValueError):
+            net.inject(
+                0,
+                request(3, 0, opcode=Opcode.STORE, beats=32,
+                        payload=[0] * 32),
+            )
+
+
+class TestPriorityArbitration:
+    def test_high_priority_wins_contended_output(self):
+        """Two flows converge on one ejection port; the high-priority flow
+        sees lower latency."""
+        sim = Simulator()
+        net = Network(sim, topo.mesh(3, 3), arbiter="priority")
+        sent = {1: 0, 2: 0}
+        done = {1: [], 2: []}
+        inject_cycles = {}
+        def pump():
+            for src, prio in ((1, 0), (2, 2)):
+                if sent[src] < 15 and net.can_inject(src):
+                    pkt = request(
+                        7, src, opcode=Opcode.STORE, beats=8,
+                        payload=[0] * 8, priority=prio,
+                        txn_id=src * 1000 + sent[src],
+                    )
+                    net.inject(src, pkt)
+                    inject_cycles[pkt.txn_id] = sim.cycle
+                    sent[src] += 1
+            q = net.ejected(7)
+            while q:
+                pkt = q.pop()
+                done[pkt.txn_id // 1000].append(
+                    sim.cycle - inject_cycles[pkt.txn_id]
+                )
+            return len(done[1]) >= 15 and len(done[2]) >= 15
+        sim.run_until(pump, max_cycles=20_000)
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(done[2]) < mean(done[1])
+
+
+class TestLockHandling:
+    def test_lock_blocks_other_masters_path(self):
+        """After a LOCK packet passes, packets from other masters stall at
+        the locked port until UNLOCK passes (paper §3)."""
+        sim = Simulator()
+        net = Network(sim, topo.single_router(3))
+        net.inject(0, request(2, 0, opcode=Opcode.LOCK, txn_id=1))
+        got = drain(net, 2, sim, 1)
+        assert got[0].txn_id == 1
+        # Other master's packet now stalls.
+        net.inject(1, request(2, 1, txn_id=2))
+        sim.run(50)
+        assert not net.ejected(2)
+        assert net.total_lock_stall_cycles() > 0
+        # Holder's own packet passes.
+        net.inject(0, request(2, 0, txn_id=3))
+        got = drain(net, 2, sim, 1)
+        assert got[0].txn_id == 3
+        # UNLOCK releases; blocked packet now flows.
+        net.inject(0, request(2, 0, opcode=Opcode.UNLOCK, txn_id=4))
+        got = drain(net, 2, sim, 2)
+        assert sorted(p.txn_id for p in got) == [2, 4]
+
+    def test_lock_support_disableable(self):
+        sim = Simulator()
+        net = Network(sim, topo.single_router(3), lock_support=False)
+        net.inject(0, request(2, 0, opcode=Opcode.LOCK, txn_id=1))
+        drain(net, 2, sim, 1)
+        net.inject(1, request(2, 1, txn_id=2))
+        got = drain(net, 2, sim, 1)
+        assert got[0].txn_id == 2  # no blocking without the service
+
+
+class TestFabric:
+    def test_planes_are_independent(self):
+        sim = Simulator()
+        fab = Fabric(sim, topo.mesh(2, 2))
+        fab.inject_request(0, request(3, 0, txn_id=1))
+        rsp = request(3, 0, txn_id=2).make_response(payload=None)
+        fab.inject_response(3, rsp)
+        def both():
+            return bool(fab.requests(3)) and bool(fab.responses(0))
+        sim.run_until(both, max_cycles=100)
+        assert fab.requests(3).pop().txn_id == 1
+        assert fab.responses(0).pop().txn_id == 2
+
+    def test_idle_detection(self):
+        sim = Simulator()
+        fab = Fabric(sim, topo.mesh(2, 2))
+        assert fab.idle()
+        fab.inject_request(0, request(3, 0))
+        assert not fab.idle()
+        sim.run_until(lambda: bool(fab.requests(3)), max_cycles=100)
+        fab.requests(3).pop()
+        sim.run(10)
+        assert fab.idle()
+
+    def test_utilization_reporting(self):
+        sim = Simulator()
+        net = Network(sim, topo.mesh(2, 2))
+        net.inject(0, request(3, 0))
+        drain(net, 3, sim, 1)
+        assert 0.0 < net.mean_link_utilization(sim.cycle) < 1.0

@@ -1,0 +1,91 @@
+"""Unit tests for routing-table computation and XY routing."""
+
+import pytest
+
+from repro.transport import topology as topo
+from repro.transport.routing import (
+    RoutingError,
+    compute_routing_tables,
+    compute_xy_tables,
+    port_local,
+    port_to,
+    xy_route,
+)
+
+
+def follow_route(topology, tables, src_ep, dst_ep, max_hops=64):
+    """Walk the tables from src's router until ejection; returns hops."""
+    router = topology.router_of(src_ep)
+    hops = 0
+    while True:
+        port = tables[router][dst_ep]
+        if port == port_local(dst_ep):
+            return hops
+        assert port.startswith("to:")
+        router = next(
+            n for n in topology.graph.neighbors(router) if port == port_to(n)
+        )
+        hops += 1
+        assert hops <= max_hops, "routing loop"
+
+
+class TestTableRouting:
+    @pytest.mark.parametrize(
+        "topology",
+        [
+            topo.mesh(3, 3),
+            topo.torus(3, 3),
+            topo.ring(6),
+            topo.star(4, endpoints=4),
+            topo.tree(2, 2, endpoints=4),
+            topo.single_router(4),
+        ],
+        ids=lambda t: t.name,
+    )
+    def test_tables_complete_and_loop_free(self, topology):
+        tables = compute_routing_tables(topology)
+        for src in topology.endpoints:
+            for dst in topology.endpoints:
+                hops = follow_route(topology, tables, src, dst)
+                assert hops == topology.hop_distance(src, dst)
+
+    def test_tables_deterministic(self):
+        t = topo.mesh(4, 4)
+        assert compute_routing_tables(t) == compute_routing_tables(t)
+
+    def test_local_delivery_at_home_router(self):
+        t = topo.mesh(2, 2)
+        tables = compute_routing_tables(t)
+        home = t.router_of(3)
+        assert tables[home][3] == port_local(3)
+
+
+class TestXyRouting:
+    def test_x_first(self):
+        assert xy_route((0, 0), (2, 2)) == (1, 0)
+        assert xy_route((2, 0), (2, 2)) == (2, 1)
+
+    def test_negative_direction(self):
+        assert xy_route((2, 2), (0, 2)) == (1, 2)
+        assert xy_route((0, 2), (0, 0)) == (0, 1)
+
+    def test_same_router_rejected(self):
+        with pytest.raises(RoutingError):
+            xy_route((1, 1), (1, 1))
+
+    def test_non_tuple_ids_rejected(self):
+        with pytest.raises(RoutingError):
+            xy_route(0, 1)
+
+    def test_xy_tables_match_shortest_paths_on_mesh(self):
+        t = topo.mesh(4, 3)
+        tables = compute_xy_tables(t)
+        for src in t.endpoints:
+            for dst in t.endpoints:
+                hops = follow_route(t, tables, src, dst)
+                assert hops == t.hop_distance(src, dst)
+
+    def test_xy_tables_reject_non_mesh(self):
+        t = topo.ring(4)
+        with pytest.raises(RoutingError):
+            compute_xy_tables(t)

@@ -1,0 +1,110 @@
+"""Unit tests for the staged FIFO primitive."""
+
+import pytest
+
+from repro.sim.queue import SimQueue
+
+
+def test_push_invisible_until_commit():
+    q = SimQueue("q", capacity=4)
+    q.push("a")
+    assert len(q) == 0
+    assert not q
+    q.commit()
+    assert len(q) == 1
+    assert q.peek() == "a"
+
+
+def test_pop_returns_fifo_order():
+    q = SimQueue("q", capacity=8)
+    for item in ("a", "b", "c"):
+        q.push(item)
+    q.commit()
+    assert [q.pop(), q.pop(), q.pop()] == ["a", "b", "c"]
+
+
+def test_capacity_counts_staged_plus_committed():
+    q = SimQueue("q", capacity=2)
+    q.push(1)
+    q.commit()
+    q.push(2)
+    assert not q.can_push()
+    with pytest.raises(OverflowError):
+        q.push(3)
+
+
+def test_pop_frees_capacity_immediately():
+    q = SimQueue("q", capacity=1)
+    q.push(1)
+    q.commit()
+    assert not q.can_push()
+    q.pop()
+    assert q.can_push()
+
+
+def test_pop_empty_raises():
+    q = SimQueue("q")
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def test_peek_out_of_range():
+    q = SimQueue("q")
+    q.push(1)
+    q.commit()
+    with pytest.raises(IndexError):
+        q.peek(1)
+
+
+def test_unbounded_queue():
+    q = SimQueue("q", capacity=None)
+    for i in range(1000):
+        q.push(i)
+    assert q.can_push(10_000)
+    q.commit()
+    assert len(q) == 1000
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        SimQueue("q", capacity=0)
+
+
+def test_iteration_does_not_consume():
+    q = SimQueue("q", capacity=4)
+    q.push(1)
+    q.push(2)
+    q.commit()
+    assert list(q) == [1, 2]
+    assert len(q) == 2
+
+
+def test_drain_empties_and_counts():
+    q = SimQueue("q", capacity=4)
+    q.push(1)
+    q.push(2)
+    q.commit()
+    assert q.drain() == [1, 2]
+    assert len(q) == 0
+    assert q.total_popped == 2
+
+
+def test_statistics_counters():
+    q = SimQueue("q", capacity=4)
+    q.push(1)
+    q.push(2)
+    q.commit()
+    q.pop()
+    assert q.total_pushed == 2
+    assert q.total_popped == 1
+    assert q.high_watermark == 2
+
+
+def test_occupancy_includes_staged():
+    q = SimQueue("q", capacity=4)
+    q.push(1)
+    q.commit()
+    q.push(2)
+    assert q.occupancy == 2
+    assert q.staged_count == 1
+    assert len(q) == 1

@@ -1,0 +1,52 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.trace import TraceEvent, Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer(enabled=False)
+    t.log(0, "src", "kind", a=1)
+    assert len(t) == 0
+
+
+def test_enabled_tracer_records():
+    t = Tracer()
+    t.log(5, "router", "route", dest=3)
+    assert len(t) == 1
+    event = t.events[0]
+    assert event.cycle == 5
+    assert event.source == "router"
+    assert event.detail == {"dest": 3}
+
+
+def test_kind_filter():
+    t = Tracer(kinds=["lock_set"])
+    t.log(0, "r", "route")
+    t.log(1, "r", "lock_set")
+    assert len(t) == 1
+    assert t.events[0].kind == "lock_set"
+
+
+def test_of_kind_and_from_source():
+    t = Tracer()
+    t.log(0, "a", "x")
+    t.log(1, "b", "x")
+    t.log(2, "a", "y")
+    assert len(t.of_kind("x")) == 2
+    assert len(t.from_source("a")) == 2
+
+
+def test_sink_callback():
+    seen = []
+    t = Tracer(sink=seen.append)
+    t.log(0, "s", "k")
+    assert len(seen) == 1
+    assert isinstance(seen[0], TraceEvent)
+
+
+def test_dump_and_clear():
+    t = Tracer()
+    t.log(3, "s", "k", v=9)
+    assert "v=9" in t.dump()
+    t.clear()
+    assert len(t) == 0

@@ -1,0 +1,125 @@
+"""Unit tests for memory targets and the byte store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.transaction import ResponseStatus
+from repro.ip.slaves import ByteStore, MemoryDevice
+from repro.protocols.base import SlaveRequest, SlaveSocket
+from repro.sim.kernel import Simulator
+
+
+class TestByteStore:
+    def test_roundtrip(self):
+        store = ByteStore()
+        store.write_beat(0x10, 0xDEADBEEF, 4)
+        assert store.read_beat(0x10, 4) == 0xDEADBEEF
+
+    def test_unwritten_reads_zero(self):
+        assert ByteStore().read_beat(0x0, 8) == 0
+
+    def test_mixed_widths_little_endian(self):
+        store = ByteStore()
+        store.write_beat(0x0, 0x11223344, 4)
+        assert store.read_beat(0x0, 1) == 0x44
+        assert store.read_beat(0x2, 2) == 0x1122
+        store.write_beat(0x1, 0xFF, 1)
+        assert store.read_beat(0x0, 4) == 0x1122FF44
+
+    @given(
+        offset=st.integers(min_value=0, max_value=256),
+        value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        width=st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_property_roundtrip_any_width(self, offset, value, width):
+        store = ByteStore()
+        store.write_beat(offset, value & ((1 << (8 * width)) - 1), width)
+        assert store.read_beat(offset, width) == value & (
+            (1 << (8 * width)) - 1
+        )
+
+
+def make_memory(sim, **kwargs):
+    socket = SlaveSocket(sim, "mem.sock")
+    memory = sim.add(MemoryDevice("mem", socket, size=0x1000, **kwargs))
+    return memory, socket
+
+
+def write_req(offset, data, token=0):
+    return SlaveRequest(
+        read=False, offset=offset, beats=len(data), beat_bytes=4,
+        addresses=[offset + 4 * i for i in range(len(data))],
+        data=data, token=token,
+    )
+
+
+def read_req(offset, beats=1, token=1):
+    return SlaveRequest(
+        read=True, offset=offset, beats=beats, beat_bytes=4,
+        addresses=[offset + 4 * i for i in range(beats)], token=token,
+    )
+
+
+class TestMemoryDevice:
+    def test_write_then_read(self):
+        sim = Simulator()
+        memory, socket = make_memory(sim)
+        socket.requests.push(write_req(0x40, [5, 6], token=0))
+        socket.requests.push(read_req(0x40, beats=2, token=1))
+        sim.run_until(lambda: len(socket.responses) >= 2, max_cycles=100)
+        first, second = socket.responses.drain()
+        assert first.token == 0 and first.status is ResponseStatus.OKAY
+        assert second.data == [5, 6]
+
+    def test_latency_respected(self):
+        sim = Simulator()
+        memory, socket = make_memory(sim, read_latency=20)
+        socket.requests.push(read_req(0x0))
+        sim.run_until(lambda: bool(socket.responses), max_cycles=100)
+        assert sim.cycle >= 20
+
+    def test_out_of_bounds_is_slverr(self):
+        sim = Simulator()
+        memory, socket = make_memory(sim)
+        socket.requests.push(read_req(0x1000))
+        sim.run_until(lambda: bool(socket.responses), max_cycles=100)
+        assert socket.responses.pop().status is ResponseStatus.SLVERR
+        assert memory.errors_served == 1
+
+    def test_error_range_is_slverr(self):
+        sim = Simulator()
+        memory, socket = make_memory(sim, error_ranges=[(0x80, 0x10)])
+        socket.requests.push(read_req(0x84))
+        sim.run_until(lambda: bool(socket.responses), max_cycles=100)
+        assert socket.responses.pop().status is ResponseStatus.SLVERR
+
+    def test_per_beat_cycles(self):
+        def latency(per_beat):
+            sim = Simulator()
+            __, socket = make_memory(sim, per_beat_cycles=per_beat)
+            socket.requests.push(read_req(0x0, beats=8))
+            sim.run_until(lambda: bool(socket.responses), max_cycles=200)
+            return sim.cycle
+        assert latency(2) > latency(0)
+
+    def test_idle_flag(self):
+        sim = Simulator()
+        memory, socket = make_memory(sim)
+        assert memory.idle()
+        socket.requests.push(read_req(0x0))
+        sim.run(2)
+        assert not memory.idle()
+        sim.run_until(lambda: bool(socket.responses), max_cycles=100)
+        sim.run(1)
+        assert memory.idle()
+
+    def test_counters(self):
+        sim = Simulator()
+        memory, socket = make_memory(sim)
+        socket.requests.push(write_req(0x0, [1]))
+        socket.requests.push(read_req(0x0))
+        sim.run_until(lambda: len(socket.responses) >= 2, max_cycles=100)
+        assert memory.writes_served == 1
+        assert memory.reads_served == 1
+        assert memory.stored_bytes == 4

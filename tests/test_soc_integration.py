@@ -1,0 +1,145 @@
+"""Whole-SoC integration: mixed protocols, determinism, data integrity."""
+
+import pytest
+
+from repro.core.transaction import make_read, make_write
+from repro.ip.masters import cpu_workload, dma_workload, random_workload
+from repro.ip.traffic import ScriptedTraffic
+from repro.soc import InitiatorSpec, SocBuilder, TargetSpec
+from repro.transport import topology as topo
+from repro.transport.switching import SwitchingMode
+
+
+def mixed_specs(count=25):
+    ranges = [(0, 0x1000), (0x1000, 0x1000)]
+    inits = [
+        InitiatorSpec("cpu0", "AHB", cpu_workload("cpu0", ranges, count=count, seed=1)),
+        InitiatorSpec("gpu0", "AXI",
+                      random_workload("gpu0", ranges, count=count, seed=2, tags=4),
+                      protocol_kwargs={"id_count": 4}),
+        InitiatorSpec("dsp0", "OCP",
+                      random_workload("dsp0", ranges, count=count, seed=3, threads=2),
+                      protocol_kwargs={"threads": 2}),
+        InitiatorSpec("io0", "BVCI",
+                      random_workload("io0", ranges, count=count, seed=4)),
+        InitiatorSpec("acc0", "PROPRIETARY",
+                      dma_workload("acc0", base=0x800, bytes_total=256)),
+    ]
+    tgts = [TargetSpec("mem0", size=0x1000), TargetSpec("mem1", size=0x1000)]
+    return inits, tgts
+
+
+def build_soc(**kwargs):
+    inits, tgts = mixed_specs()
+    builder = SocBuilder(**kwargs)
+    for spec in inits:
+        builder.add_initiator(spec)
+    for spec in tgts:
+        builder.add_target(spec)
+    return builder.build()
+
+
+class TestMixedProtocolSoc:
+    def test_five_socket_families_share_one_fabric(self):
+        soc = build_soc()
+        soc.run_to_completion(max_cycles=100_000)
+        assert soc.total_completed() > 0
+        assert soc.ordering_violations() == 0
+        protocols = {m.protocol_name for m in soc.masters.values()}
+        assert protocols == {"AHB", "AXI", "OCP", "BVCI", "PROPRIETARY"}
+
+    def test_layer_config_derived_from_sockets(self):
+        soc = build_soc()
+        fmt = soc.layer_config.packet_format
+        assert fmt.has_user_bit("excl")  # AXI + OCP present
+        assert soc.fabric.packet_format is fmt
+
+    def test_deterministic_across_runs(self):
+        a = build_soc()
+        ca = a.run_to_completion(max_cycles=100_000)
+        b = build_soc()
+        cb = b.run_to_completion(max_cycles=100_000)
+        assert ca == cb
+        assert a.memory_image() == b.memory_image()
+        for name in a.masters:
+            assert a.master_latency(name) == b.master_latency(name)
+
+    def test_shared_memory_coherent_view(self):
+        """A value written by one master is read back by another."""
+        writer = InitiatorSpec(
+            "w", "AXI", ScriptedTraffic([make_write(0x500, [0x77, 0x88])])
+        )
+        builder = SocBuilder()
+        builder.add_initiator(writer)
+        builder.add_target(TargetSpec("mem0", size=0x1000))
+        soc = builder.build()
+        soc.run_to_completion(max_cycles=20_000)
+
+        reader_spec = InitiatorSpec(
+            "r", "OCP", ScriptedTraffic([make_read(0x500, beats=2)]),
+            protocol_kwargs={"threads": 1},
+        )
+        builder2 = SocBuilder()
+        builder2.add_initiator(reader_spec)
+        builder2.add_target(TargetSpec("mem0", size=0x1000))
+        soc2 = builder2.build()
+        # Pre-load the second SoC's memory from the first one's image.
+        for offset, value in soc.memories["mem0"].store.image().items():
+            soc2.memories["mem0"].store.write_beat(offset, value, 1)
+        soc2.run_to_completion(max_cycles=20_000)
+        assert soc2.memories["mem0"].read_beat(0x500, 4) == 0x77
+
+
+class TestTopologyAndFabricKnobs:
+    @pytest.mark.parametrize(
+        "topology_factory",
+        [
+            lambda: topo.mesh(3, 3, endpoints=7),
+            lambda: topo.ring(7, endpoints=7),
+            lambda: topo.star(7, endpoints=7),
+            lambda: topo.single_router(7),
+        ],
+        ids=["mesh", "ring", "star", "xbar"],
+    )
+    def test_any_topology_carries_the_soc(self, topology_factory):
+        inits, tgts = mixed_specs(count=10)
+        builder = SocBuilder(topology=topology_factory())
+        for spec in inits:
+            builder.add_initiator(spec)
+        for spec in tgts:
+            builder.add_target(spec)
+        soc = builder.build()
+        soc.run_to_completion(max_cycles=200_000)
+        assert soc.ordering_violations() == 0
+
+    def test_arbiter_knob(self):
+        soc = build_soc(arbiter="age")
+        soc.run_to_completion(max_cycles=100_000)
+        assert soc.ordering_violations() == 0
+
+    def test_builder_validation(self):
+        with pytest.raises(ValueError):
+            SocBuilder().build()
+        builder = SocBuilder()
+        builder.add_initiator(
+            InitiatorSpec("a", "AHB", ScriptedTraffic([]))
+        )
+        with pytest.raises(ValueError):
+            builder.build()  # no targets
+        with pytest.raises(ValueError):
+            builder.add_initiator(
+                InitiatorSpec("a", "AHB", ScriptedTraffic([]))
+            )
+
+    def test_explicit_target_bases(self):
+        builder = SocBuilder()
+        builder.add_initiator(
+            InitiatorSpec("m", "AHB",
+                          ScriptedTraffic([make_read(0x8000_0000)]))
+        )
+        builder.add_target(TargetSpec("lo", size=0x1000))
+        builder.add_target(TargetSpec("hi", size=0x1000, base=0x8000_0000))
+        soc = builder.build()
+        soc.run_to_completion(max_cycles=20_000)
+        assert soc.masters["m"].completed == 1
+        assert soc.masters["m"].errors == 0

@@ -1,0 +1,39 @@
+"""Unit tests for switching-mode departure rules."""
+
+from repro.transport.switching import SwitchingMode
+
+
+class TestWormhole:
+    def test_departs_with_one_flit_and_one_slot(self):
+        m = SwitchingMode.WORMHOLE
+        assert m.head_may_depart(1, 10, 1)
+
+    def test_blocked_without_downstream_space(self):
+        assert not SwitchingMode.WORMHOLE.head_may_depart(10, 10, 0)
+
+    def test_min_buffer_is_one(self):
+        assert SwitchingMode.WORMHOLE.min_buffer_for(16) == 1
+
+
+class TestStoreAndForward:
+    def test_needs_whole_packet_buffered(self):
+        m = SwitchingMode.STORE_AND_FORWARD
+        assert not m.head_may_depart(5, 10, 10)
+        assert m.head_may_depart(10, 10, 1)
+
+    def test_min_buffer_is_packet(self):
+        assert SwitchingMode.STORE_AND_FORWARD.min_buffer_for(16) == 16
+
+
+class TestVirtualCutThrough:
+    def test_needs_whole_packet_downstream(self):
+        m = SwitchingMode.VIRTUAL_CUT_THROUGH
+        assert not m.head_may_depart(1, 10, 9)
+        assert m.head_may_depart(1, 10, 10)
+
+    def test_min_buffer_is_packet(self):
+        assert SwitchingMode.VIRTUAL_CUT_THROUGH.min_buffer_for(8) == 8
+
+
+def test_str_is_name():
+    assert str(SwitchingMode.WORMHOLE) == "WORMHOLE"

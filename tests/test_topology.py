@@ -1,0 +1,89 @@
+"""Unit tests for topology constructors."""
+
+import networkx as nx
+import pytest
+
+from repro.transport import topology as topo
+
+
+class TestMesh:
+    def test_router_and_link_counts(self):
+        t = topo.mesh(3, 3)
+        assert t.graph.number_of_nodes() == 9
+        assert t.graph.number_of_edges() == 12  # 2*w*h - w - h
+
+    def test_default_endpoint_per_router(self):
+        t = topo.mesh(2, 2)
+        assert t.endpoints == [0, 1, 2, 3]
+
+    def test_endpoint_oversubscription_round_robins(self):
+        t = topo.mesh(2, 2, endpoints=6)
+        assert len(t.endpoints) == 6
+        assert t.router_of(0) == t.router_of(4)
+
+    def test_hop_distance(self):
+        t = topo.mesh(3, 3)
+        assert t.hop_distance(0, 0) == 0
+        # endpoint 0 -> router (0,0), endpoint 8 -> router (2,2)
+        assert t.hop_distance(0, 8) == 4
+
+    def test_degenerate_dims_rejected(self):
+        with pytest.raises(ValueError):
+            topo.mesh(0, 3)
+
+
+class TestOtherShapes:
+    def test_torus_has_wraparound(self):
+        t = topo.torus(3, 3)
+        assert t.graph.has_edge((0, 0), (2, 0))
+        assert t.graph.has_edge((0, 0), (0, 2))
+        assert t.diameter() <= topo.mesh(3, 3).diameter()
+
+    def test_ring(self):
+        t = topo.ring(5)
+        assert t.graph.number_of_edges() == 5
+        assert all(t.graph.degree[n] == 2 for n in t.graph)
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            topo.ring(1)
+
+    def test_star_endpoints_on_leaves(self):
+        t = topo.star(4, endpoints=4)
+        for ep in t.endpoints:
+            assert t.router_of(ep) != 0  # hub carries no endpoint
+
+    def test_tree_endpoints_on_leaves(self):
+        t = topo.tree(depth=2, fanout=2, endpoints=4)
+        for ep in t.endpoints:
+            assert t.graph.degree[t.router_of(ep)] == 1
+
+    def test_single_router_xbar(self):
+        t = topo.single_router(6)
+        assert t.graph.number_of_nodes() == 1
+        assert all(t.router_of(ep) == 0 for ep in range(6))
+
+    def test_custom(self):
+        t = topo.custom([(0, 1), (1, 2)], {0: 0, 1: 2})
+        assert t.hop_distance(0, 1) == 2
+
+
+class TestValidation:
+    def test_disconnected_graph_rejected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            topo.Topology(g, {0: 0})
+
+    def test_endpoint_on_unknown_router_rejected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            topo.Topology(g, {0: 99})
+
+    def test_negative_endpoint_rejected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            topo.Topology(g, {-1: 0})
