@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Kernel perf bench: activity-driven kernel vs brute-force reference.
+
+Runs two representative SoC workloads built from the shared bench
+builders (``benchmarks/conftest.py``):
+
+- ``idle_heavy``  — the Fig-1/Fig-2 mixed SoC whose traffic drains early
+  in a long measurement window, leaving the fabric quiescent for most
+  cycles.  This is where idle-skipping pays: after drain the active set
+  is empty and cycles cost almost nothing.
+- ``saturated``   — the same SoC under open-loop high-rate traffic that
+  keeps the routers arbitrating every cycle.  This bounds the scheduler
+  overhead and shows the router hot-path surgery.
+
+Each workload runs under ``Simulator(strict=True)`` (tick everything,
+commit everything) and under the default activity-driven kernel, and the
+results land in ``BENCH_kernel.json`` next to the repo root so the perf
+trajectory is tracked across PRs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_perf_bench.py [--out BENCH_kernel.json]
+    PYTHONPATH=src python scripts/run_perf_bench.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+import repro.core.transaction as txn_mod  # noqa: E402
+import repro.transport.flit as flit_mod  # noqa: E402
+from benchmarks.conftest import (  # noqa: E402
+    build_noc,
+    mixed_initiators,
+    mixed_targets,
+)
+
+
+def _reset_global_ids() -> None:
+    """Fresh id streams per build so runs are comparable and repeatable."""
+    txn_mod._txn_ids = itertools.count()
+    flit_mod._flit_packet_ids = itertools.count()
+
+
+def build_idle_heavy(strict: bool, scale: int):
+    """Traffic drains in the first few thousand cycles of the window."""
+    _reset_global_ids()
+    return build_noc(
+        mixed_initiators(count=12 * scale, rate=0.25),
+        mixed_targets(),
+        strict_kernel=strict,
+    )
+
+
+def build_saturated(strict: bool, scale: int):
+    """Open-loop load high enough to keep every router busy all window."""
+    _reset_global_ids()
+    return build_noc(
+        mixed_initiators(count=100_000, rate=0.95),
+        mixed_targets(),
+        strict_kernel=strict,
+    )
+
+
+def run_workload(builder, strict: bool, cycles: int, scale: int) -> dict:
+    soc = builder(strict, scale)
+    t0 = time.perf_counter()
+    soc.run(cycles)
+    wall = time.perf_counter() - t0
+    flits = soc.fabric.total_flits_forwarded()
+    return {
+        "kernel": "reference" if strict else "activity",
+        "cycles": cycles,
+        "wall_s": round(wall, 4),
+        "cycles_per_s": round(cycles / wall, 1),
+        "flits_forwarded": flits,
+        "flits_per_s": round(flits / wall, 1),
+        "completed_txns": soc.total_completed(),
+        "final_active_components": soc.sim.active_count,
+        "total_components": len(soc.sim.components),
+    }
+
+
+WORKLOADS = {
+    "idle_heavy": build_idle_heavy,
+    "saturated": build_saturated,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_kernel.json"),
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--cycles", type=int, default=60_000,
+        help="measurement window in cycles (idle_heavy)",
+    )
+    parser.add_argument(
+        "--saturated-cycles", type=int, default=6_000,
+        help="measurement window in cycles (saturated)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small windows for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+
+    windows = {
+        "idle_heavy": 6_000 if args.quick else args.cycles,
+        "saturated": 1_500 if args.quick else args.saturated_cycles,
+    }
+    scale = 1
+
+    out = Path(args.out)
+    # Baselines (e.g. the seed kernel, measured once per machine) are
+    # preserved across reruns so the JSON shows the cross-PR trajectory.
+    baselines = {}
+    if out.exists():
+        try:
+            baselines = json.loads(out.read_text()).get("baselines", {})
+        except (json.JSONDecodeError, OSError):
+            pass
+
+    results = {
+        "meta": {
+            "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "quick": args.quick,
+        },
+        "baselines": baselines,
+        "workloads": {},
+    }
+    for name, builder in WORKLOADS.items():
+        cycles = windows[name]
+        print(f"== {name} ({cycles} cycles) ==")
+        reference = run_workload(builder, True, cycles, scale)
+        activity = run_workload(builder, False, cycles, scale)
+        speedup = reference["wall_s"] / activity["wall_s"]
+        # The two kernels must agree on what the simulation *did*.
+        if reference["flits_forwarded"] != activity["flits_forwarded"] or (
+            reference["completed_txns"] != activity["completed_txns"]
+        ):
+            print(f"!! kernel mismatch on {name}: {reference} vs {activity}")
+            return 1
+        results["workloads"][name] = {
+            "reference": reference,
+            "activity": activity,
+            "speedup": round(speedup, 2),
+        }
+        print(
+            f"   reference {reference['wall_s']:.3f}s  "
+            f"activity {activity['wall_s']:.3f}s  speedup {speedup:.2f}x  "
+            f"({activity['cycles_per_s']:.0f} cyc/s, "
+            f"{activity['flits_forwarded']} flits)"
+        )
+
+    for name, base in baselines.items():
+        for workload, numbers in base.get("workloads", {}).items():
+            entry = results["workloads"].get(workload)
+            if entry and numbers.get("cycles") == entry["activity"]["cycles"]:
+                entry[f"speedup_vs_{name}"] = round(
+                    numbers["wall_s"] / entry["activity"]["wall_s"], 2
+                )
+
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

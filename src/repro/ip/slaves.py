@@ -82,6 +82,13 @@ class MemoryDevice(Component):
         self.reads_served = 0
         self.writes_served = 0
         self.errors_served = 0
+        # Activity wiring: new requests wake the device; a popped
+        # response frees the retire path while the pipeline drains.
+        socket.requests.wake_on_push(self)
+        socket.responses.wake_on_pop(self)
+
+    def is_idle(self) -> bool:
+        return not self._pipeline and not self.socket.requests
 
     # ------------------------------------------------------------------ #
     # storage helpers (also used directly by tests)
@@ -140,7 +147,7 @@ class MemoryDevice(Component):
         self._pipeline.append((cycle + max(1, latency), response))
 
     def idle(self) -> bool:
-        return not self._pipeline and not self.socket.requests
+        return self.is_idle()
 
     @property
     def stored_bytes(self) -> int:

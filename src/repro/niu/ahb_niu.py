@@ -60,7 +60,7 @@ class AhbInitiatorNiu(InitiatorNiu):
         if policy.ordering is not OrderingModel.FULLY_ORDERED:
             raise ValueError("AHB NIU requires a fully-ordered policy")
         super().__init__(name, fabric, endpoint, address_map, policy)
-        self.socket = socket
+        self._attach_socket(socket)
 
     def peek_native(self, cycle: int) -> Optional[Transaction]:
         channel = self.socket.req("req")

@@ -63,7 +63,7 @@ class AxiInitiatorNiu(InitiatorNiu):
         if policy.ordering is not OrderingModel.ID_BASED:
             raise ValueError("AXI NIU requires an ID-based policy")
         super().__init__(name, fabric, endpoint, address_map, policy)
-        self.socket = socket
+        self._attach_socket(socket)
         self._prefer_read = True
         self._peeked_channel: Optional[str] = None
 

@@ -30,6 +30,7 @@ from repro.niu.state_table import StateEntry, StateTable
 from repro.niu.tag_policy import TagPolicy
 from repro.protocols.base import SlaveRequest, SlaveResponse, SlaveSocket
 from repro.sim.component import Component
+from repro.sim.queue import SimQueue
 from repro.transport.network import Fabric
 
 
@@ -72,6 +73,37 @@ class InitiatorNiu(Component):
         self.posted_sent = 0
         self.decode_errors = 0
         self.stall_cycles = 0
+        # Activity wiring: arriving response packets wake the engine;
+        # subclasses attach the socket via _attach_socket.
+        self._rsp_packets = fabric.responses(endpoint)
+        self._rsp_packets.wake_on_push(self)
+        self._native_req_queues: Tuple[SimQueue, ...] = ()
+
+    def _attach_socket(self, socket) -> None:
+        """Store the master socket and register activity wakes.
+
+        Subclasses call this instead of assigning ``self.socket`` so new
+        native requests (push) and freed response channels (pop) put the
+        NIU back on the schedule.
+        """
+        self.socket = socket
+        self._native_req_queues = tuple(socket.request_channels.values())
+        for queue in self._native_req_queues:
+            queue.wake_on_push(self)
+        for queue in socket.response_channels.values():
+            queue.wake_on_pop(self)
+
+    def is_idle(self) -> bool:
+        """No outstanding table entries, no arrived responses, and no
+        native request waiting: the engine has nothing to advance."""
+        if not self._native_req_queues:
+            return False  # no socket attached: cannot prove quiescence
+        if len(self.table) or self._rsp_packets:
+            return False
+        for queue in self._native_req_queues:
+            if queue:
+                return False
+        return True
 
     # ------------------------------------------------------------------ #
     # subclass interface
@@ -252,8 +284,25 @@ class TargetNiu(Component):
         self.posted_served = 0
         self.excl_failures = 0
         self.lock_blocked_cycles = 0
+        # Activity wiring: arriving request packets and finished target-IP
+        # accesses wake the NIU; a drained slave request slot lets a
+        # capacity-stalled head packet proceed.
+        self._req_packets = fabric.requests(endpoint)
+        self._req_packets.wake_on_push(self)
+        slave_socket.responses.wake_on_push(self)
+        slave_socket.requests.wake_on_pop(self)
 
     # ------------------------------------------------------------------ #
+    def is_idle(self) -> bool:
+        """No packet waiting, nothing outstanding at the target IP, and
+        no response pending injection: the NIU has nothing to advance."""
+        return not (
+            self._req_packets
+            or self._order
+            or self._pending
+            or self.slave_socket.responses
+        )
+
     def tick(self, cycle: int) -> None:
         self._return_responses(cycle)
         self._accept_requests(cycle)

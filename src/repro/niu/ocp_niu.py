@@ -53,7 +53,7 @@ class OcpInitiatorNiu(InitiatorNiu):
         if policy.ordering is not OrderingModel.THREADED:
             raise ValueError("OCP NIU requires a threaded policy")
         super().__init__(name, fabric, endpoint, address_map, policy)
-        self.socket = socket
+        self._attach_socket(socket)
 
     def peek_native(self, cycle: int) -> Optional[Transaction]:
         channel = self.socket.req("req")

@@ -50,7 +50,7 @@ class MsgInitiatorNiu(InitiatorNiu):
                 multi_target=False,
             )
         super().__init__(name, fabric, endpoint, address_map, policy)
-        self.socket = socket
+        self._attach_socket(socket)
         self.fences_served = 0
 
     def peek_native(self, cycle: int) -> Optional[Transaction]:

@@ -88,7 +88,7 @@ class VciInitiatorNiu(InitiatorNiu):
         super().__init__(name, fabric, endpoint, address_map, policy)
         self.flavor = flavor
         self.protocol_name = flavor
-        self.socket = socket
+        self._attach_socket(socket)
 
     def peek_native(self, cycle: int) -> Optional[Transaction]:
         channel = self.socket.req("cmd")

@@ -166,6 +166,16 @@ class ProtocolMaster(Component):
     # ------------------------------------------------------------------ #
     # common engine
     # ------------------------------------------------------------------ #
+    def is_idle(self) -> bool:
+        """Masters sleep only once their traffic is fully retired.
+
+        While the source still has (or may generate) intents the master
+        must poll every cycle — sources are cycle-driven (think time,
+        Bernoulli rates), so there is no queue event to wake on.  Once
+        :meth:`finished` is true it is true forever: no wake needed.
+        """
+        return self.finished()
+
     def tick(self, cycle: int) -> None:
         for txn_id in self.collect_responses(cycle):
             self._complete(txn_id, cycle)

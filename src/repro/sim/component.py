@@ -4,7 +4,7 @@ from __future__ import annotations
 
 
 class Component:
-    """A named object ticked once per simulated cycle.
+    """A named object ticked by the simulator.
 
     Subclasses override :meth:`tick`.  During ``tick`` a component may pop
     from its input queues (immediately visible) and push to its output
@@ -12,11 +12,34 @@ class Component:
     commits).  Components must not communicate through shared mutable
     state outside of queues; that is what keeps the simulation
     deterministic regardless of registration order for well-formed models.
+
+    Activity contract
+    -----------------
+    The kernel is *activity-driven*: it only ticks components in its
+    active set.  A component stays in the active set as long as
+    :meth:`is_idle` returns False, which is the default — components
+    that do not opt in behave exactly as under a tick-everything kernel.
+
+    Opting in means honouring two rules:
+
+    - :meth:`is_idle` must be a pure predicate of *currently visible*
+      state ("this tick, and every future tick until external input
+      arrives, is a no-op"), evaluated after queue commits; and
+    - every external event that can make an idle component non-idle must
+      :meth:`wake` it.  Registering via :meth:`SimQueue.wake_on_push` /
+      :meth:`SimQueue.wake_on_pop <repro.sim.queue.SimQueue.wake_on_pop>`
+      covers the queue-borne events, which are the only legal ones.
+
+    Under those rules the activity-driven schedule is cycle-for-cycle
+    identical to ticking everything (``Simulator(strict=True)``).
     """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._simulator = None
+        # Scheduler bookkeeping (owned by Simulator; see kernel.py).
+        self._scheduled = False
+        self._sched_index = -1
 
     @property
     def simulator(self):
@@ -37,6 +60,26 @@ class Component:
                 f"component {self.name!r} is already bound to another simulator"
             )
         self._simulator = simulator
+
+    def wake(self) -> None:
+        """(Re-)schedule this component so it ticks next cycle.
+
+        Idempotent and cheap when already scheduled; a no-op before the
+        component is registered (registration schedules it anyway).
+        """
+        if not self._scheduled:
+            sim = self._simulator
+            if sim is not None:
+                self._scheduled = True
+                sim._wakes.append(self)
+
+    def is_idle(self) -> bool:
+        """True when ticking this component is a no-op until a wake.
+
+        Default False: the component is ticked every cycle.  Override
+        only together with wake registration — see the class docstring.
+        """
+        return False
 
     def tick(self, cycle: int) -> None:
         """Advance the component by one cycle.  Default: do nothing."""

@@ -1,7 +1,8 @@
-"""The cycle-based simulation kernel."""
+"""The cycle-based simulation kernel (activity-driven)."""
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional
 
 from repro.sim.component import Component
@@ -14,22 +15,57 @@ class SimulationError(RuntimeError):
     """Raised for kernel-level failures (deadlock, double registration...)."""
 
 
+def _sched_key(component: Component) -> int:
+    return component._sched_index
+
+
 class Simulator:
     """Owns components and queues and advances them cycle by cycle.
 
-    The kernel is two-phase: every registered component's :meth:`tick` runs
-    first, then every registered queue commits its staged items.  A queue
+    The kernel is two-phase: every *active* component's :meth:`tick` runs
+    first, then every *dirty* queue commits its staged items.  A queue
     push staged in cycle *n* is therefore consumer-visible in cycle
     *n + 1*.
+
+    Activity-driven scheduling
+    --------------------------
+    Instead of ticking every registered component each cycle, the kernel
+    keeps an **active set**.  Components are active from registration and
+    stay active while :meth:`Component.is_idle` returns False (the
+    default, so plain components behave exactly as before).  A component
+    that reports idle is removed from the schedule and re-enters it only
+    when :meth:`Component.wake` is called — normally by a
+    :class:`SimQueue` it registered with (``wake_on_push`` fires at
+    commit time, when items become visible; ``wake_on_pop`` fires when
+    space frees).  Active components always tick in registration order,
+    so the schedule is deterministic.
+
+    Queue commits follow the same discipline: a push puts the queue on a
+    per-cycle *dirty list* and only dirty queues are committed, so a
+    quiescent fabric costs neither component ticks nor queue sweeps.
+
+    ``strict=True`` (or the ``REPRO_SIM_STRICT=1`` environment variable)
+    selects the brute-force reference path — tick every component, commit
+    every queue — which must produce byte-identical stats and traces;
+    tests assert exactly that.
 
     Parameters
     ----------
     trace:
         Optional :class:`Tracer`; if omitted a disabled tracer is created
         so components can log unconditionally.
+    strict:
+        ``True`` forces the tick-everything reference kernel; ``None``
+        (default) consults ``REPRO_SIM_STRICT``.
     """
 
-    def __init__(self, trace: Optional[Tracer] = None) -> None:
+    def __init__(
+        self, trace: Optional[Tracer] = None, strict: Optional[bool] = None
+    ) -> None:
+        if strict is None:
+            flag = os.environ.get("REPRO_SIM_STRICT", "")
+            strict = flag.strip().lower() not in ("", "0", "false", "no", "off")
+        self.strict = bool(strict)
         self.cycle = 0
         self.stats = StatsRegistry()
         self.trace = trace if trace is not None else Tracer(enabled=False)
@@ -38,6 +74,15 @@ class Simulator:
         self._queues: List[SimQueue] = []
         self._queue_names: Dict[str, SimQueue] = {}
         self._finished = False
+        # Activity scheduler state: the run list holds this cycle's active
+        # components in registration order; wakes accumulate between steps
+        # and merge in at the top of the next one.
+        self._run_list: List[Component] = []
+        self._wakes: List[Component] = []
+        self._dirty_queues: List[SimQueue] = []
+        # Idle components are retired from the run list every
+        # (RETIRE_EVERY = mask + 1) cycles; must be a power of two - 1.
+        self._retire_mask = 7
 
     # ------------------------------------------------------------------ #
     # registration
@@ -47,16 +92,22 @@ class Simulator:
         if component.name in self._component_names:
             raise SimulationError(f"duplicate component name {component.name!r}")
         component.bind(self)
+        component._sched_index = len(self._components)
         self._components.append(component)
         self._component_names[component.name] = component
+        component._scheduled = True
+        self._wakes.append(component)
         return component
 
     def add_queue(self, queue: SimQueue) -> SimQueue:
-        """Register a queue so the kernel commits it each cycle."""
+        """Register a queue so the kernel commits it when dirty."""
         if queue.name in self._queue_names:
             raise SimulationError(f"duplicate queue name {queue.name!r}")
         self._queues.append(queue)
         self._queue_names[queue.name] = queue
+        queue._kernel = self
+        if queue._dirty:  # registered with items already staged
+            self._dirty_queues.append(queue)
         return queue
 
     def new_queue(self, name: str, capacity: Optional[int] = 4) -> SimQueue:
@@ -73,15 +124,67 @@ class Simulator:
     def components(self) -> List[Component]:
         return list(self._components)
 
+    @property
+    def active_count(self) -> int:
+        """Components scheduled to tick next cycle (bench introspection)."""
+        if self.strict:
+            return len(self._components)
+        return len(self._run_list) + len(self._wakes)
+
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
     def step(self) -> None:
         """Advance the simulation by exactly one cycle."""
+        if self.strict:
+            self._step_strict()
+            return
+        # Merge components woken since the last step (or freshly added).
+        wakes = self._wakes
+        run_list = self._run_list
+        if wakes:
+            run_list.extend(wakes)
+            wakes.clear()
+            run_list.sort(key=_sched_key)
+        cycle = self.cycle
+        for component in run_list:
+            component.tick(cycle)
+        # Commit only queues that staged something this cycle; commits
+        # wake push-waiters, which lands them in _wakes for next cycle.
+        dirty = self._dirty_queues
+        if dirty:
+            for queue in dirty:
+                if queue._dirty:
+                    queue.commit()
+            dirty.clear()
+        # Retire components that report idle (post-commit, so anything
+        # that just became visible keeps its consumer scheduled).  The
+        # sweep runs every RETIRE_EVERY cycles: retirement is purely an
+        # optimisation (extra ticks of an idle component are no-ops), and
+        # sweeping on a cadence keeps busy phases from paying an is_idle
+        # scan per component per cycle while bursty traffic oscillates.
+        if cycle & self._retire_mask == self._retire_mask:
+            retained = []
+            retain = retained.append
+            for component in run_list:
+                if component.is_idle():
+                    component._scheduled = False
+                else:
+                    retain(component)
+            if len(retained) != len(run_list):
+                self._run_list = retained
+        self.cycle += 1
+
+    def _step_strict(self) -> None:
+        """Reference path: tick everything, commit everything."""
+        cycle = self.cycle
         for component in self._components:
-            component.tick(self.cycle)
+            component.tick(cycle)
         for queue in self._queues:
             queue.commit()
+        # Keep scheduler bookkeeping bounded; strict mode never prunes.
+        self._wakes.clear()
+        self._dirty_queues.clear()
         self.cycle += 1
 
     def run(self, cycles: int) -> int:
@@ -98,17 +201,22 @@ class Simulator:
     ) -> int:
         """Run until ``predicate()`` is true.
 
-        Raises :class:`SimulationError` if ``max_cycles`` elapse first —
-        the standard way benches and tests detect deadlock/livelock.
+        The predicate is evaluated every ``check_every`` cycles, but the
+        simulation never advances more than ``max_cycles`` cycles past the
+        starting point — the final stretch is clamped so a coarse
+        ``check_every`` cannot overshoot the budget.  Raises
+        :class:`SimulationError` if ``max_cycles`` elapse first — the
+        standard way benches and tests detect deadlock/livelock.
         """
         start = self.cycle
         while not predicate():
-            if self.cycle - start >= max_cycles:
+            elapsed = self.cycle - start
+            if elapsed >= max_cycles:
                 raise SimulationError(
                     f"run_until exceeded {max_cycles} cycles "
                     f"(started at {start}, now {self.cycle})"
                 )
-            for _ in range(check_every):
+            for _ in range(min(check_every, max_cycles - elapsed)):
                 self.step()
         return self.cycle
 

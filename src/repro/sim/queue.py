@@ -11,12 +11,23 @@ credit-based flow control with a credit-return latency of zero: the
 producer may only push when the consumer's buffer has a free slot this
 cycle.  Explicit multi-cycle credit loops are modelled at the transport
 layer on top of this primitive.
+
+Activity contract
+-----------------
+Queues are the kernel's wake fabric.  A component registered with
+:meth:`wake_on_push` is woken when staged items *commit* (the moment they
+become consumer-visible); one registered with :meth:`wake_on_pop` is woken
+when an item is popped (the moment producer-side space frees up).  A queue
+registered with a :class:`~repro.sim.kernel.Simulator` also marks itself
+on the kernel's per-cycle *dirty list* at first push, so the kernel
+commits only queues that actually staged something instead of iterating
+every queue every cycle.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Iterator, List, Optional
+from typing import Any, Deque, Iterator, List, Optional, Tuple
 
 
 class SimQueue:
@@ -41,6 +52,25 @@ class SimQueue:
         self.total_pushed = 0
         self.total_popped = 0
         self.high_watermark = 0
+        # Activity-kernel hooks: set by Simulator.add_queue / wake_on_*.
+        self._kernel = None
+        self._dirty = False
+        self._push_waiters: Tuple[Any, ...] = ()
+        self._pop_waiters: Tuple[Any, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # wake registration (wiring time)
+    # ------------------------------------------------------------------ #
+    def wake_on_push(self, component) -> None:
+        """Wake ``component`` whenever staged items commit (new items
+        become consumer-visible)."""
+        if component not in self._push_waiters:
+            self._push_waiters += (component,)
+
+    def wake_on_pop(self, component) -> None:
+        """Wake ``component`` whenever an item is popped (space frees)."""
+        if component not in self._pop_waiters:
+            self._pop_waiters += (component,)
 
     # ------------------------------------------------------------------ #
     # producer side
@@ -61,6 +91,11 @@ class SimQueue:
             )
         self._staged.append(item)
         self.total_pushed += 1
+        if not self._dirty:
+            self._dirty = True
+            kernel = self._kernel
+            if kernel is not None:
+                kernel._dirty_queues.append(self)
 
     # ------------------------------------------------------------------ #
     # consumer side
@@ -90,18 +125,24 @@ class SimQueue:
         if not self._committed:
             raise IndexError(f"queue {self.name!r} is empty")
         self.total_popped += 1
-        return self._committed.popleft()
+        item = self._committed.popleft()
+        for waiter in self._pop_waiters:
+            waiter.wake()
+        return item
 
     # ------------------------------------------------------------------ #
     # kernel side
     # ------------------------------------------------------------------ #
     def commit(self) -> None:
         """Move staged items into the committed region (kernel only)."""
+        self._dirty = False
         if self._staged:
             self._committed.extend(self._staged)
             self._staged.clear()
-        if len(self._committed) > self.high_watermark:
-            self.high_watermark = len(self._committed)
+            if len(self._committed) > self.high_watermark:
+                self.high_watermark = len(self._committed)
+            for waiter in self._push_waiters:
+                waiter.wake()
 
     @property
     def staged_count(self) -> int:
@@ -112,11 +153,26 @@ class SimQueue:
         """Committed + staged items (what capacity accounting sees)."""
         return len(self._committed) + len(self._staged)
 
-    def drain(self) -> List[Any]:
-        """Pop every committed item (test/scoreboard convenience)."""
+    def drain(self, include_staged: bool = False) -> List[Any]:
+        """Pop every committed item (test/scoreboard convenience).
+
+        Staged items are **not** drained by default: they are not yet
+        consumer-visible, so a drain models a consumer emptying its
+        buffer mid-cycle.  Pass ``include_staged=True`` to also discard
+        the staged region (e.g. when resetting a queue between test
+        phases); discarded staged items count as popped so the
+        ``total_pushed - total_popped == occupancy`` invariant holds.
+        """
         items = list(self._committed)
         self.total_popped += len(items)
         self._committed.clear()
+        if include_staged and self._staged:
+            items.extend(self._staged)
+            self.total_popped += len(self._staged)
+            self._staged.clear()
+        if items:
+            for waiter in self._pop_waiters:
+                waiter.wake()
         return items
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -2,12 +2,16 @@
 
 Tracing answers "what did the fabric actually do": which flits crossed
 which router at which cycle, when a NIU allocated a tag, when a LOCK was
-taken.  It is disabled by default (zero overhead beyond one branch) and
-switched on by tests that assert on event sequences.
+taken.  It is disabled by default and genuinely zero-cost in that state:
+``log`` is rebound to a no-op method, so hot paths pay one attribute
+lookup and an empty call instead of a branch per event.  Long saturated
+runs can bound memory with ``max_events``, which keeps only the newest
+events in a ring buffer.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -27,37 +31,95 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects :class:`TraceEvent` objects, optionally filtered by kind."""
+    """Collects :class:`TraceEvent` objects, optionally filtered by kind.
+
+    Parameters
+    ----------
+    enabled:
+        Start collecting immediately.  While disabled, :meth:`log` is a
+        bound no-op method.
+    kinds:
+        Optional whitelist of event kinds to record.
+    sink:
+        Optional callback invoked with every recorded event.
+    max_events:
+        If set, keep only the newest ``max_events`` events (ring
+        buffer); :attr:`total_logged` still counts every recorded event
+        so droppage is observable as ``total_logged - len(tracer)``.
+    """
 
     def __init__(
         self,
         enabled: bool = True,
         kinds: Optional[List[str]] = None,
         sink: Optional[Callable[[TraceEvent], None]] = None,
+        max_events: Optional[int] = None,
     ) -> None:
-        self.enabled = enabled
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be >= 1 or None")
         self._kinds = set(kinds) if kinds is not None else None
         self._sink = sink
-        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.events = (
+            deque(maxlen=max_events) if max_events is not None else []
+        )
+        self.total_logged = 0
+        self._enabled = enabled
+        self._rebind()
 
-    def log(self, cycle: int, source: str, kind: str, **detail: Any) -> None:
-        if not self.enabled:
-            return
+    # ------------------------------------------------------------------ #
+    # enable/disable (rebinds ``log`` so the disabled path costs nothing)
+    # ------------------------------------------------------------------ #
+    def _rebind(self) -> None:
+        # Instance attribute shadows the class method: callers always go
+        # through ``tracer.log(...)`` and get the cheap path when off.
+        self.log = self._log if self._enabled else self._log_noop
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        self._rebind()
+
+    # ------------------------------------------------------------------ #
+    # logging
+    # ------------------------------------------------------------------ #
+    def _log_noop(self, cycle: int, source: str, kind: str, **detail: Any) -> None:
+        return None
+
+    def _log(self, cycle: int, source: str, kind: str, **detail: Any) -> None:
         if self._kinds is not None and kind not in self._kinds:
             return
         event = TraceEvent(cycle=cycle, source=source, kind=kind, detail=detail)
         self.events.append(event)
+        self.total_logged += 1
         if self._sink is not None:
             self._sink(event)
 
+    # ``log`` is rebound per instance in __init__; this class-level alias
+    # keeps the method discoverable and the API documented.
+    log = _log
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
 
     def from_source(self, source: str) -> List[TraceEvent]:
         return [e for e in self.events if e.source == source]
 
+    @property
+    def dropped_events(self) -> int:
+        """Events discarded by the ``max_events`` ring buffer."""
+        return self.total_logged - len(self.events)
+
     def clear(self) -> None:
         self.events.clear()
+        self.total_logged = 0
 
     def dump(self) -> str:
         return "\n".join(str(e) for e in self.events)

@@ -154,6 +154,7 @@ class SocBuilder:
         topology: Optional[Topology] = None,
         trace: Optional[Tracer] = None,
         transport_lock_support: Optional[bool] = None,
+        strict_kernel: Optional[bool] = None,
     ) -> None:
         self.name = name
         self.mode = mode
@@ -166,6 +167,9 @@ class SocBuilder:
         # None = derive from the socket set (LEGACY_LOCK service);
         # False = ablation: locks serialized at the target NIU only.
         self.transport_lock_support = transport_lock_support
+        # None = activity-driven kernel (or REPRO_SIM_STRICT env);
+        # True = brute-force tick-everything reference kernel.
+        self.strict_kernel = strict_kernel
         self.initiators: List[InitiatorSpec] = []
         self.targets: List[TargetSpec] = []
 
@@ -207,7 +211,7 @@ class SocBuilder:
             raise ValueError("SoC needs at least one initiator")
         if not self.targets:
             raise ValueError("SoC needs at least one target")
-        sim = Simulator(trace=self.trace)
+        sim = Simulator(trace=self.trace, strict=self.strict_kernel)
         endpoints = len(self.initiators) + len(self.targets)
         topology = self.topology or self._default_topology(endpoints)
 

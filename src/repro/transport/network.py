@@ -53,6 +53,11 @@ class InjectionPort(Component):
         self._pending: List[Flit] = []
         self.packets_injected = 0
         self.flits_injected = 0
+        packet_queue.wake_on_push(self)
+        flit_queue.wake_on_pop(self)
+
+    def is_idle(self) -> bool:
+        return not self._pending and not self.packet_queue
 
     def tick(self, cycle: int) -> None:
         if not self._pending and self.packet_queue:
@@ -81,6 +86,11 @@ class EjectionPort(Component):
         self.packet_queue = packet_queue
         self.reassembler = Reassembler(name)
         self.packets_ejected = 0
+        flit_queue.wake_on_push(self)
+        packet_queue.wake_on_pop(self)
+
+    def is_idle(self) -> bool:
+        return not self.flit_queue
 
     def tick(self, cycle: int) -> None:
         # One flit per cycle; hold the tail until the packet queue has room

@@ -57,6 +57,10 @@ class Router(Component):
         self.lock_support = lock_support
         self.inputs: Dict[str, SimQueue] = {}
         self.outputs: Dict[str, SimQueue] = {}
+        # Hot-path port lists, presorted at wiring time so tick never
+        # calls sorted() (arbitration order is the sorted port name).
+        self._sorted_inputs: List[tuple] = []
+        self._sorted_outputs: List[tuple] = []
         # per-input state
         self._input_alloc: Dict[str, Optional[str]] = {}
         self._input_head: Dict[str, Optional[Flit]] = {}
@@ -80,6 +84,8 @@ class Router(Component):
         self._input_alloc[port] = None
         self._input_head[port] = None
         self._input_age[port] = 0
+        self._sorted_inputs = sorted(self.inputs.items())
+        queue.wake_on_push(self)
         return queue
 
     def add_output(self, port: str, queue: SimQueue) -> SimQueue:
@@ -89,6 +95,8 @@ class Router(Component):
         self._output_owner[port] = None
         self._output_lock[port] = None
         self.output_busy_cycles[port] = 0
+        self._sorted_outputs = sorted(self.outputs.items())
+        queue.wake_on_pop(self)
         return queue
 
     # ------------------------------------------------------------------ #
@@ -127,59 +135,101 @@ class Router(Component):
     # ------------------------------------------------------------------ #
     # the cycle
     # ------------------------------------------------------------------ #
+    def is_idle(self) -> bool:
+        """Nothing buffered at any input: tick is provably a no-op.
+
+        Ages are already 0 for empty inputs (they reset the tick the
+        queue empties), owned outputs cannot progress without flits, and
+        lock state only changes when a tail flit passes — so an
+        all-inputs-empty router can sleep until a link queue wakes it.
+        """
+        for _port, queue in self._sorted_inputs:
+            if queue._committed:
+                return False
+        return True
+
     def tick(self, cycle: int) -> None:
-        # Phase A: what does each input want to do?
+        sorted_inputs = self._sorted_inputs
+        # Early exit: quiescent router (see is_idle for why this is exact).
+        busy = False
+        for _port, queue in sorted_inputs:
+            if queue._committed:
+                busy = True
+                break
+        if not busy:
+            return
+        input_alloc = self._input_alloc
+        input_age = self._input_age
+        outputs = self.outputs
+        mode = self.mode
+        wormhole = mode is SwitchingMode.WORMHOLE
+        # Phase A: what does each input want to do?  Heads that are ready
+        # to depart are grouped per desired output so Phase B arbitration
+        # touches only actual contenders instead of rescanning every input.
         desires: Dict[str, str] = {}  # input -> output
-        head_ready: Dict[str, bool] = {}
-        for in_port in sorted(self.inputs):
-            queue = self.inputs[in_port]
-            if not queue:
-                self._input_age[in_port] = 0
+        heads: Dict[str, Flit] = {}
+        wants: Dict[str, List[str]] = {}  # output -> ready head inputs
+        for in_port, queue in sorted_inputs:
+            committed = queue._committed
+            if not committed:
+                input_age[in_port] = 0
                 continue
-            flit = queue.peek()
-            alloc = self._input_alloc[in_port]
+            flit = committed[0]
+            alloc = input_alloc[in_port]
             if alloc is not None:
                 # mid-packet: continue on the allocated output
                 desires[in_port] = alloc
-                head_ready[in_port] = True  # body flits only need space
+                continue
+            if not flit.is_head:
+                raise RuntimeError(
+                    f"{self.name}:{in_port}: body flit {flit!r} at front "
+                    f"with no allocation (framing bug)"
+                )
+            out_port = self._route(flit.dest)
+            desires[in_port] = out_port
+            if wormhole:
+                # Wormhole heads depart whenever downstream has a slot —
+                # no need to count buffered flits of the front packet.
+                ready = outputs[out_port].can_push()
             else:
-                if not flit.is_head:
-                    raise RuntimeError(
-                        f"{self.name}:{in_port}: body flit {flit!r} at front "
-                        f"with no allocation (framing bug)"
-                    )
-                out_port = self._route(flit.dest)
-                desires[in_port] = out_port
-                head_ready[in_port] = self.mode.head_may_depart(
+                ready = mode.head_may_depart(
                     flits_buffered=self._flits_of_front_packet(queue, flit),
                     packet_flits=flit.count,
                     downstream_free=self._downstream_free(out_port),
                 )
+            if ready:
+                heads[in_port] = flit
+                if out_port in wants:
+                    wants[out_port].append(in_port)
+                else:
+                    wants[out_port] = [in_port]
 
         # Phase B: per-output arbitration and transfer.
+        output_owner = self._output_owner
+        output_lock = self._output_lock
+        lock_support = self.lock_support
         sent_inputs: List[str] = []
-        for out_port in sorted(self.outputs):
-            out_queue = self.outputs[out_port]
-            owner = self._output_owner[out_port]
+        for out_port, out_queue in self._sorted_outputs:
+            owner = output_owner[out_port]
             if owner is not None:
                 # Continue the in-flight packet; nobody else may interleave.
                 if (
                     desires.get(owner) == out_port
-                    and self._input_alloc[owner] == out_port
+                    and input_alloc[owner] == out_port
                     and out_queue.can_push()
                 ):
                     self._transfer(owner, out_port, cycle)
                     sent_inputs.append(owner)
                 continue
+            contenders = wants.get(out_port)
+            if contenders is None:
+                continue
             candidates: List[Candidate] = []
             lock_stalled = False
-            for in_port, want in desires.items():
-                if want != out_port or not head_ready.get(in_port):
-                    continue
-                if self._input_alloc[in_port] is not None:
-                    continue  # mid-packet inputs handled via owner path
-                flit = self.inputs[in_port].peek()
-                if self.lock_support and self._lock_blocks(out_port, flit):
+            holder = output_lock[out_port] if lock_support else None
+            for in_port in contenders:
+                flit = heads[in_port]
+                if holder is not None and holder != flit.src:
                     lock_stalled = True
                     continue
                 packet = flit.packet
@@ -188,7 +238,7 @@ class Router(Component):
                     Candidate(
                         port=in_port,
                         priority=flit.priority,
-                        age=self._input_age[in_port],
+                        age=input_age[in_port],
                         urgency=urgency,
                     )
                 )
@@ -201,11 +251,11 @@ class Router(Component):
             sent_inputs.append(winner.port)
 
         # Phase C: age heads that waited.
-        for in_port in self.inputs:
-            if self.inputs[in_port] and in_port not in sent_inputs:
-                self._input_age[in_port] += 1
+        for in_port, queue in sorted_inputs:
+            if queue._committed and in_port not in sent_inputs:
+                input_age[in_port] += 1
             else:
-                self._input_age[in_port] = 0
+                input_age[in_port] = 0
 
     def _transfer(self, in_port: str, out_port: str, cycle: int) -> None:
         flit = self.inputs[in_port].pop()

@@ -1,0 +1,176 @@
+"""Activity-driven kernel vs brute-force reference: byte-identical runs.
+
+The activity scheduler (wake/is_idle, dirty-queue commits, router early
+exits) is only legal if it is an *optimisation*: every seeded workload
+must produce exactly the same per-component stats, queue counters and
+trace sequence as ``Simulator(strict=True)``, which ticks every component
+and commits every queue each cycle.  These tests pin that contract.
+"""
+
+import itertools
+
+import pytest
+
+import repro.core.transaction as txn_mod
+import repro.transport.flit as flit_mod
+from repro.ip.masters import (
+    cpu_workload,
+    dma_workload,
+    random_workload,
+    sync_workload,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+from repro.soc import InitiatorSpec, SocBuilder, TargetSpec
+
+
+@pytest.fixture(autouse=True)
+def _fresh_global_ids():
+    """txn/packet ids come from process-global counters; reset them so the
+    two builds of the same SoC are byte-comparable."""
+    txn_ids, packet_ids = txn_mod._txn_ids, flit_mod._flit_packet_ids
+    yield
+    txn_mod._txn_ids, flit_mod._flit_packet_ids = txn_ids, packet_ids
+
+
+def _reset_ids():
+    txn_mod._txn_ids = itertools.count()
+    flit_mod._flit_packet_ids = itertools.count()
+
+
+def build_mixed_soc(strict):
+    """Heterogeneous-protocol SoC covering AHB/AXI/OCP/proprietary NIUs."""
+    _reset_ids()
+    ranges = [(0, 0x4000), (0x4000, 0x4000)]
+    builder = SocBuilder(trace=Tracer(enabled=True), strict_kernel=strict)
+    builder.add_initiator(
+        InitiatorSpec(
+            "cpu_ahb", "AHB", cpu_workload("cpu_ahb", ranges, count=20, seed=1)
+        )
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "gpu_axi", "AXI",
+            random_workload(
+                "gpu_axi", ranges, count=20, seed=2, tags=4, rate=0.3,
+                burst_beats=(1, 4, 8),
+            ),
+            protocol_kwargs={"id_count": 4},
+        )
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "dsp_ocp", "OCP",
+            random_workload("dsp_ocp", ranges, count=20, seed=3, threads=2,
+                            rate=0.3),
+            protocol_kwargs={"threads": 2},
+        )
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "acc_msg", "PROPRIETARY",
+            dma_workload("acc_msg", base=0x2000, bytes_total=256),
+        )
+    )
+    builder.add_target(
+        TargetSpec("dram", size=0x4000, read_latency=6, write_latency=3)
+    )
+    builder.add_target(
+        TargetSpec("sram", size=0x4000, read_latency=2, write_latency=1)
+    )
+    return builder.build()
+
+
+def build_lock_soc(strict):
+    """Legacy-lock critical sections: exercises router LOCK ownership and
+    target-NIU lock managers, the stateful transport paths."""
+    _reset_ids()
+    builder = SocBuilder(trace=Tracer(enabled=True), strict_kernel=strict)
+    for i in range(2):
+        builder.add_initiator(
+            InitiatorSpec(
+                f"sync{i}", "AHB",
+                sync_workload(f"sync{i}", "lock", sema_addr=0x0,
+                              work_addr=0x100 + 0x40 * i, iterations=3,
+                              seed=i),
+            )
+        )
+    builder.add_target(
+        TargetSpec("mem", size=0x1000, read_latency=2, write_latency=1)
+    )
+    return builder.build()
+
+
+def fingerprint(soc, cycles):
+    soc.run(cycles)
+    sim = soc.sim
+    queues = {
+        name: (q.total_pushed, q.total_popped, q.high_watermark)
+        for name, q in sim._queue_names.items()
+    }
+    masters = {
+        name: (m.issued, m.completed, m.errors, m.excl_failures)
+        for name, m in soc.masters.items()
+    }
+    routers = {}
+    for plane in (soc.fabric.request_plane, soc.fabric.response_plane):
+        for router in plane.routers.values():
+            routers[router.name] = (
+                router.flits_forwarded,
+                router.packets_forwarded,
+                router.lock_stall_cycles,
+                dict(router.output_busy_cycles),
+            )
+    nius = {
+        name: (niu.requests_sent, niu.responses_delivered, niu.stall_cycles)
+        for name, niu in soc.initiator_nius.items()
+    }
+    tnius = {
+        name: (t.requests_served, t.excl_failures, t.lock_blocked_cycles)
+        for name, t in soc.target_nius.items()
+    }
+    latencies = {name: soc.master_latency(name) for name in soc.masters}
+    return {
+        "queues": queues,
+        "masters": masters,
+        "routers": routers,
+        "initiator_nius": nius,
+        "target_nius": tnius,
+        "latencies": latencies,
+        "trace": soc.sim.trace.dump(),
+        "memory": soc.memory_image(),
+        "completed": soc.total_completed(),
+        "cycle": sim.cycle,
+    }
+
+
+@pytest.mark.parametrize(
+    "build, cycles",
+    [(build_mixed_soc, 4000), (build_lock_soc, 3000)],
+    ids=["mixed-protocols", "legacy-lock"],
+)
+def test_activity_kernel_matches_reference(build, cycles):
+    activity = fingerprint(build(strict=False), cycles)
+    reference = fingerprint(build(strict=True), cycles)
+    for key in reference:
+        assert activity[key] == reference[key], f"{key} diverged"
+
+
+def test_activity_kernel_completes_all_traffic():
+    soc = build_mixed_soc(strict=False)
+    soc.run_to_completion()
+    assert all(m.finished() for m in soc.masters.values())
+    # Once drained (and past a retire sweep) the whole SoC leaves the
+    # schedule: quiescent cycles cost no component ticks at all.
+    soc.run(16)
+    assert soc.sim.active_count == 0
+    assert len(soc.sim.components) > 0
+
+
+def test_strict_env_flag(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_STRICT", "1")
+    assert Simulator().strict is True
+    monkeypatch.setenv("REPRO_SIM_STRICT", "0")
+    assert Simulator().strict is False
+    monkeypatch.delenv("REPRO_SIM_STRICT")
+    assert Simulator().strict is False

@@ -130,3 +130,79 @@ def test_component_cannot_rebind():
     Simulator().add(t)
     with pytest.raises(RuntimeError):
         Simulator().add(t)
+
+
+class SleepyConsumer(Component):
+    """Idle-protocol consumer: sleeps whenever its queue is empty."""
+
+    def __init__(self, name, queue):
+        super().__init__(name)
+        self.queue = queue
+        queue.wake_on_push(self)
+        self.ticks = []
+        self.received = []
+
+    def is_idle(self):
+        return not self.queue
+
+    def tick(self, cycle):
+        self.ticks.append(cycle)
+        if self.queue:
+            self.received.append(self.queue.pop())
+
+
+def test_run_until_never_overshoots_max_cycles():
+    """With check_every > 1 the kernel must clamp the final stretch."""
+    sim = Simulator()
+    sim.add(Ticker("t"))
+    with pytest.raises(SimulationError):
+        sim.run_until(lambda: False, max_cycles=25, check_every=10)
+    assert sim.cycle == 25
+
+
+def test_run_until_check_every_still_satisfies_predicate():
+    sim = Simulator()
+    t = sim.add(Ticker("t"))
+    sim.run_until(lambda: len(t.ticks) >= 5, max_cycles=100, check_every=7)
+    assert len(t.ticks) >= 5
+
+
+def test_idle_component_is_skipped_and_woken():
+    sim = Simulator()
+    q = sim.new_queue("q", capacity=4)
+    c = sim.add(SleepyConsumer("c", q))
+    sim.run(40)  # queue stays empty: consumer retires after a sweep
+    ticks_while_idle = len(c.ticks)
+    assert ticks_while_idle < 40
+    sim.run(20)
+    assert len(c.ticks) == ticks_while_idle  # fully asleep now
+    q.push("item")
+    sim.run(3)  # commit happens at the end of the push cycle
+    assert c.received == ["item"]
+    assert len(c.ticks) > ticks_while_idle
+
+
+def test_strict_mode_never_skips():
+    sim = Simulator(strict=True)
+    q = sim.new_queue("q", capacity=4)
+    c = sim.add(SleepyConsumer("c", q))
+    sim.run(40)
+    assert len(c.ticks) == 40
+
+
+def test_active_count_drops_when_idle():
+    sim = Simulator()
+    q = sim.new_queue("q", capacity=4)
+    sim.add(SleepyConsumer("c", q))
+    always_on = sim.add(Ticker("t"))
+    sim.run(20)
+    assert sim.active_count == 1  # only the default always-on Ticker
+    assert len(always_on.ticks) == 20
+
+
+def test_component_added_mid_run_is_scheduled():
+    sim = Simulator()
+    sim.run(5)
+    t = sim.add(Ticker("late"))
+    sim.run(3)
+    assert t.ticks == [5, 6, 7]

@@ -108,3 +108,80 @@ def test_occupancy_includes_staged():
     assert q.occupancy == 2
     assert q.staged_count == 1
     assert len(q) == 1
+
+
+def test_drain_leaves_staged_items_by_default():
+    q = SimQueue("q", capacity=4)
+    q.push(1)
+    q.commit()
+    q.push(2)  # staged, not yet visible
+    assert q.drain() == [1]
+    assert q.staged_count == 1
+    q.commit()
+    assert list(q) == [2]
+
+
+def test_drain_include_staged_clears_everything():
+    q = SimQueue("q", capacity=4)
+    q.push(1)
+    q.commit()
+    q.push(2)
+    q.push(3)
+    assert q.drain(include_staged=True) == [1, 2, 3]
+    assert q.occupancy == 0
+    # accounting invariant: pushed - popped == occupancy
+    assert q.total_pushed - q.total_popped == q.occupancy == 0
+
+
+def test_high_watermark_tracks_committed_peak():
+    q = SimQueue("q", capacity=8)
+    for i in range(3):
+        q.push(i)
+    q.commit()
+    assert q.high_watermark == 3
+    q.drain()
+    q.commit()
+    assert q.high_watermark == 3  # watermark is a max, drain keeps it
+
+
+class _WakeRecorder:
+    def __init__(self):
+        self.wakes = 0
+
+    def wake(self):
+        self.wakes += 1
+
+
+def test_wake_on_push_fires_at_commit_not_push():
+    q = SimQueue("q", capacity=4)
+    consumer = _WakeRecorder()
+    q.wake_on_push(consumer)
+    q.push(1)
+    assert consumer.wakes == 0  # staged items are not yet visible
+    q.commit()
+    assert consumer.wakes == 1
+    q.commit()  # nothing staged: no spurious wake
+    assert consumer.wakes == 1
+
+
+def test_wake_on_pop_fires_per_pop_and_drain():
+    q = SimQueue("q", capacity=4)
+    producer = _WakeRecorder()
+    q.wake_on_pop(producer)
+    q.push(1)
+    q.push(2)
+    q.commit()
+    q.pop()
+    assert producer.wakes == 1
+    q.drain()
+    assert producer.wakes == 2
+
+
+def test_wake_registration_is_idempotent():
+    q = SimQueue("q", capacity=4)
+    consumer = _WakeRecorder()
+    q.wake_on_push(consumer)
+    q.wake_on_push(consumer)
+    q.push(1)
+    q.commit()
+    assert consumer.wakes == 1

@@ -50,3 +50,32 @@ def test_dump_and_clear():
     assert "v=9" in t.dump()
     t.clear()
     assert len(t) == 0
+
+
+def test_max_events_ring_buffer_keeps_newest():
+    t = Tracer(max_events=3)
+    for i in range(10):
+        t.log(i, "s", "k")
+    assert len(t) == 3
+    assert [e.cycle for e in t.events] == [7, 8, 9]
+    assert t.total_logged == 10
+    assert t.dropped_events == 7
+
+
+def test_max_events_rejects_nonpositive():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Tracer(max_events=0)
+
+
+def test_enabled_toggle_rebinds_log():
+    t = Tracer(enabled=False)
+    t.log(0, "s", "k")
+    assert len(t) == 0
+    t.enabled = True
+    t.log(1, "s", "k")
+    assert len(t) == 1
+    t.enabled = False
+    t.log(2, "s", "k")
+    assert len(t) == 1
