@@ -11,6 +11,11 @@ builders (``benchmarks/conftest.py``):
 - ``saturated``   — the same SoC under open-loop high-rate traffic that
   keeps the routers arbitrating every cycle.  This bounds the scheduler
   overhead and shows the router hot-path surgery.
+- ``phys_gals``   — the mixed SoC rebuilt with the physical layer at its
+  least transparent: narrow serialized router links (phit-level
+  serialization + wire pipelining), three clock domains and CDC
+  synchronizers on every NIU↔router link.  Tracks the overhead of the
+  phys path (PhysicalLink components + domain-gated ticking) across PRs.
 
 Each workload runs under ``Simulator(strict=True)`` (tick everything,
 commit everything) and under the default activity-driven kernel, and the
@@ -44,6 +49,7 @@ from benchmarks.conftest import (  # noqa: E402
     mixed_initiators,
     mixed_targets,
 )
+from repro.phys.link import LinkSpec  # noqa: E402
 
 
 def _reset_global_ids() -> None:
@@ -72,6 +78,31 @@ def build_saturated(strict: bool, scale: int):
     )
 
 
+def build_phys_gals(strict: bool, scale: int):
+    """Serialized links + GALS regions + CDC: the loaded physical path."""
+    _reset_global_ids()
+    initiators = mixed_initiators(count=24 * scale, rate=0.35)
+    # Three clock regions spread round-robin over the initiators; the
+    # targets sit in the io region so every NIU link crosses domains.
+    regions = ("cpu", "io", "dsp")
+    for index, spec in enumerate(initiators):
+        spec.region = regions[index % len(regions)]
+    targets = mixed_targets()
+    for spec in targets:
+        spec.region = "io"
+    return build_noc(
+        initiators,
+        targets,
+        strict_kernel=strict,
+        links={
+            "router": LinkSpec(phit_bits=48, pipeline_latency=1),
+            "endpoint": LinkSpec(phit_bits=96),
+        },
+        clock_domains={"cpu": 2, "io": (3, 1), "dsp": 2, "fab": 1},
+        fabric_region="fab",
+    )
+
+
 def run_workload(builder, strict: bool, cycles: int, scale: int) -> dict:
     soc = builder(strict, scale)
     t0 = time.perf_counter()
@@ -85,6 +116,7 @@ def run_workload(builder, strict: bool, cycles: int, scale: int) -> dict:
         "cycles_per_s": round(cycles / wall, 1),
         "flits_forwarded": flits,
         "flits_per_s": round(flits / wall, 1),
+        "phits_carried": soc.fabric.total_phits_carried(),
         "completed_txns": soc.total_completed(),
         "final_active_components": soc.sim.active_count,
         "total_components": len(soc.sim.components),
@@ -94,6 +126,7 @@ def run_workload(builder, strict: bool, cycles: int, scale: int) -> dict:
 WORKLOADS = {
     "idle_heavy": build_idle_heavy,
     "saturated": build_saturated,
+    "phys_gals": build_phys_gals,
 }
 
 
@@ -112,6 +145,10 @@ def main(argv=None) -> int:
         help="measurement window in cycles (saturated)",
     )
     parser.add_argument(
+        "--phys-cycles", type=int, default=30_000,
+        help="measurement window in cycles (phys_gals)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="small windows for CI smoke runs",
     )
@@ -120,6 +157,7 @@ def main(argv=None) -> int:
     windows = {
         "idle_heavy": 6_000 if args.quick else args.cycles,
         "saturated": 1_500 if args.quick else args.saturated_cycles,
+        "phys_gals": 3_000 if args.quick else args.phys_cycles,
     }
     scale = 1
 

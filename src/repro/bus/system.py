@@ -87,7 +87,15 @@ def build_bus_soc(
     cursor = 0
     for index, spec in enumerate(targets):
         base = spec.base if spec.base is not None else cursor
-        address_map.add_range(base, spec.size, slv_addr=index, name=spec.name)
+        try:
+            address_map.add_range(
+                base, spec.size, slv_addr=index, name=spec.name
+            )
+        except ValueError as exc:
+            raise ValueError(
+                f"target {spec.name!r}: explicit base {base:#x} aliases an "
+                f"already-assigned range in the bus address map ({exc})"
+            ) from exc
         cursor = max(cursor, base + spec.size)
 
     bus = SharedBus(

@@ -59,13 +59,24 @@ class AddressMap:
             self.add(r)
 
     def add(self, new: AddressRange) -> None:
-        for existing in self._ranges:
+        """Insert ``new``; raises :class:`ValueError` on any overlap.
+
+        The map invariant (sorted by base, pairwise disjoint) means only
+        the would-be neighbours can overlap a candidate, so validation is
+        O(log n) instead of a full scan.
+        """
+        index = bisect.bisect(self._bases, new.base)
+        neighbors = []
+        if index > 0:
+            neighbors.append(self._ranges[index - 1])
+        if index < len(self._ranges):
+            neighbors.append(self._ranges[index])
+        for existing in neighbors:
             if existing.overlaps(new):
                 raise ValueError(
                     f"range {new.name!r} [{new.base:#x}, {new.end:#x}) overlaps "
                     f"{existing.name!r} [{existing.base:#x}, {existing.end:#x})"
                 )
-        index = bisect.bisect(self._bases, new.base)
         self._ranges.insert(index, new)
         self._bases.insert(index, new.base)
 

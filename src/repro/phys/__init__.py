@@ -15,13 +15,15 @@ the three physical concerns the paper names:
 """
 
 from repro.phys.cdc import CdcFifo
-from repro.phys.clocking import ClockDomain, ClockedRegion
-from repro.phys.link import PhysicalLink, phits_per_flit
+from repro.phys.clocking import ClockDomain, ClockedRegion, make_clock_domain
+from repro.phys.link import LinkSpec, PhysicalLink, phits_per_flit
 
 __all__ = [
     "CdcFifo",
     "ClockDomain",
     "ClockedRegion",
+    "LinkSpec",
     "PhysicalLink",
+    "make_clock_domain",
     "phits_per_flit",
 ]

@@ -4,19 +4,36 @@ Models the standard dual-clock FIFO: items written in the producer domain
 become visible to the consumer domain only after a synchronizer delay
 measured in *consumer* clock edges (two-flop synchronizer = 2 edges).
 Used by physical-layer experiments that put NIUs and fabric in different
-clock domains.
+clock domains.  (Fabric links get their CDC folded into
+:class:`~repro.phys.link.PhysicalLink`; this class is the standalone
+crossing primitive for direct component-to-component use.)
+
+Activity contract: the FIFO participates in the PR-1 wake protocol like a
+:class:`~repro.sim.queue.SimQueue`, two-phase commit included.  Items
+that mature out of the synchronizer during :meth:`tick` are *staged* and
+only become consumer-visible when the kernel commits (the FIFO joins the
+dirty list like any queue), so visibility flips between cycles — never
+mid-cycle — and results are independent of registration order and
+identical under the strict and activity kernels.  A :meth:`push` wakes
+the FIFO itself (it must tick to advance the synchronizer); components
+registered via :meth:`~repro.sim.queue.WakeHooks.wake_on_push` are woken
+at commit, when items mature into view, and
+:meth:`~repro.sim.queue.WakeHooks.wake_on_pop` waiters when space frees.
+With nothing crossing, :meth:`is_idle` is true and the FIFO retires from
+the schedule.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional, Tuple
+from typing import Any, Deque, List, Tuple
 
 from repro.phys.clocking import ClockDomain
 from repro.sim.component import Component
+from repro.sim.queue import WakeHooks
 
 
-class CdcFifo(Component):
+class CdcFifo(Component, WakeHooks):
     """Bounded FIFO between two clock domains with synchronizer latency."""
 
     def __init__(
@@ -38,19 +55,33 @@ class CdcFifo(Component):
         self.sync_stages = sync_stages
         # (consumer edges remaining before visible, item)
         self._crossing: Deque[Tuple[int, Any]] = deque()
+        self._staged: List[Any] = []  # matured, visible at next commit
         self._visible: Deque[Any] = deque()
         self.total_pushed = 0
         self.total_popped = 0
+        self._dirty = False
+
+    def bind(self, simulator) -> None:
+        """Registering the FIFO as a component also enrolls it with the
+        kernel's queue commit machinery (it is both: a ticked component
+        for the synchronizer, a committed channel for visibility)."""
+        super().bind(simulator)
+        simulator.add_queue(self)
 
     # producer side ----------------------------------------------------- #
     def can_push(self) -> bool:
-        return len(self._crossing) + len(self._visible) < self.capacity
+        return (
+            len(self._crossing) + len(self._staged) + len(self._visible)
+            < self.capacity
+        )
 
     def push(self, item: Any) -> None:
         if not self.can_push():
             raise OverflowError(f"CDC FIFO {self.name!r} full")
         self._crossing.append((self.sync_stages, item))
         self.total_pushed += 1
+        # The FIFO itself must tick to age the synchronizer.
+        self.wake()
 
     # consumer side ------------------------------------------------------ #
     def can_pop(self) -> bool:
@@ -60,7 +91,10 @@ class CdcFifo(Component):
         if not self._visible:
             raise IndexError(f"CDC FIFO {self.name!r} empty")
         self.total_popped += 1
-        return self._visible.popleft()
+        item = self._visible.popleft()
+        for waiter in self._pop_waiters:
+            waiter.wake()
+        return item
 
     def peek(self) -> Any:
         if not self._visible:
@@ -71,11 +105,17 @@ class CdcFifo(Component):
         return len(self._visible)
 
     # kernel --------------------------------------------------------------#
+    def is_idle(self) -> bool:
+        """Nothing in the synchronizer: ticks are no-ops until a push
+        (which wakes us).  Visible items need no ticking — consumers were
+        woken when they matured.  Evaluated post-commit, so the staged
+        region is always empty here."""
+        return not self._crossing and not self._staged
+
     def tick(self, cycle: int) -> None:
         # Synchronizer stages advance on consumer clock edges.
         if not self.consumer_domain.active(cycle):
             return
-        matured = 0
         updated: Deque[Tuple[int, Any]] = deque()
         for stages, item in self._crossing:
             stages -= 1
@@ -85,12 +125,31 @@ class CdcFifo(Component):
                 if updated:
                     updated.append((1, item))
                 else:
-                    self._visible.append(item)
-                    matured += 1
+                    self._staged.append(item)
             else:
                 updated.append((stages, item))
         self._crossing = updated
+        if self._staged and not self._dirty:
+            kernel = self._simulator
+            if kernel is not None:
+                self._dirty = True
+                kernel._dirty_queues.append(self)
+            else:
+                # Standalone use (manually ticked, no kernel to run the
+                # commit phase): publish immediately, as pre-wake-protocol
+                # CdcFifo did.
+                self.commit()
+
+    def commit(self) -> None:
+        """Publish matured items (kernel only, like ``SimQueue.commit``):
+        staged items become consumer-visible and push-waiters wake."""
+        self._dirty = False
+        if self._staged:
+            self._visible.extend(self._staged)
+            self._staged.clear()
+            for waiter in self._push_waiters:
+                waiter.wake()
 
     @property
     def in_flight(self) -> int:
-        return len(self._crossing)
+        return len(self._crossing) + len(self._staged)

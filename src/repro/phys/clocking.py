@@ -1,10 +1,20 @@
 """Clock domains with integer frequency ratios.
 
-The simulation kernel ticks at the fastest clock in the system; a
-:class:`ClockedRegion` wraps slower components and forwards every N-th
-kernel tick to them.  This models GALS-style NoCs where the switch fabric
-runs faster than attached IP — a physical-layer concern that, per the
-paper, must not leak upward.
+The simulation kernel ticks at the fastest clock in the system.  Two ways
+to slow a component down:
+
+- :meth:`~repro.sim.component.Component.set_clock_domain` places a
+  registered component directly in a domain; both kernels (activity and
+  strict) then tick it only on that domain's edges, with kernel cycle
+  numbers.  This is what :class:`~repro.soc.builder.SocBuilder` uses for
+  its ``clock_domains=`` / per-spec ``region=`` knobs.
+- :class:`ClockedRegion` wraps unregistered children and forwards every
+  N-th kernel tick to them with *local* cycle numbers (legacy wrapper,
+  useful for self-contained experiments).
+
+Either way this models GALS-style NoCs where the switch fabric runs
+faster than attached IP — a physical-layer concern that, per the paper,
+must not leak upward.
 """
 
 from __future__ import annotations
@@ -36,6 +46,28 @@ class ClockDomain:
     def local_cycle(self, kernel_cycle: int) -> int:
         """This domain's own cycle count at kernel time ``kernel_cycle``."""
         return (kernel_cycle - self.phase + self.divisor - 1) // self.divisor
+
+
+def make_clock_domain(name: str, value) -> ClockDomain:
+    """Coerce a declarative clock-domain value into a :class:`ClockDomain`.
+
+    Accepted forms (what ``SocBuilder(clock_domains={...})`` takes):
+    an existing :class:`ClockDomain` (renamed to ``name`` if needed so
+    the mapping key is authoritative), an ``int`` divisor, or a
+    ``(divisor, phase)`` tuple.
+    """
+    if isinstance(value, ClockDomain):
+        if value.name == name:
+            return value
+        return ClockDomain(name, value.divisor, value.phase)
+    if isinstance(value, int):
+        return ClockDomain(name, value)
+    if isinstance(value, tuple) and len(value) == 2:
+        return ClockDomain(name, value[0], value[1])
+    raise ValueError(
+        f"clock domain {name!r}: expected ClockDomain, divisor int or "
+        f"(divisor, phase) tuple, got {value!r}"
+    )
 
 
 class ClockedRegion(Component):

@@ -1,17 +1,28 @@
-"""Physical link: flit serialization into phits.
+"""Physical link: flit serialization into phits, pipelining and CDC.
 
 A transport-layer flit of ``flit_bits`` is carried over a wire bundle of
-``phit_bits`` wires; each phit takes one cycle, plus a fixed pipeline
-latency for wire/repeater delay.  The link is transparent above: it moves
-whole flits between two flit queues, just more slowly when narrow — the
-paper's point that physical width is invisible to transaction semantics.
+``phit_bits`` wires; each phit takes one cycle of the producer's clock,
+plus a fixed pipeline latency for wire/repeater delay.  When the two ends
+sit in different clock domains the link additionally carries the flit
+through a synchronizer (``sync_stages`` consumer clock edges — the
+classic dual-clock FIFO crossing).  The link is transparent above: it
+moves whole flits between two flit queues, just more slowly when narrow,
+piped or crossing clocks — the paper's point that physical width and
+clocking are invisible to transaction semantics.
+
+:class:`LinkSpec` is the declarative record the SoC configuration layer
+uses to request all of this per fabric connection; the default spec is
+the ideal full-width, zero-latency wire, which the network wires as a
+plain shared queue (zero simulation cost, cycle-identical to a fabric
+built with no physical layer at all).
 """
 
 from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
 
 from repro.sim.component import Component
 from repro.sim.queue import SimQueue
@@ -25,6 +36,72 @@ def phits_per_flit(flit_bits: int, phit_bits: int) -> int:
     return math.ceil(flit_bits / phit_bits)
 
 
+@dataclass(frozen=True)
+class LinkSpec:
+    """Physical configuration of one fabric connection.
+
+    The default instance is the *ideal wire*: full flit width, no
+    pipeline stages, no clock crossing.  The network wires an ideal
+    same-domain link as one raw shared queue — no link component, no
+    extra latency — so a SoC that never mentions the physical layer is
+    cycle-identical to one built before it existed.
+
+    Parameters
+    ----------
+    phit_bits:
+        Wire-bundle width.  ``None`` means full flit width (one phit per
+        flit); any narrower width serializes each flit over
+        ``ceil(flit_bits / phit_bits)`` producer-clock cycles.
+    pipeline_latency:
+        Extra kernel cycles of wire/repeater delay added to every flit.
+    sync_stages:
+        Synchronizer depth, in consumer clock edges, applied only when
+        the link's two ends are in different clock domains (a CDC).
+    capacity:
+        Staging-FIFO depth on each side of a non-transparent link;
+        ``None`` inherits the network's buffer capacity.
+    """
+
+    phit_bits: Optional[int] = None
+    pipeline_latency: int = 0
+    sync_stages: int = 2
+    capacity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.phit_bits is not None and self.phit_bits < 1:
+            raise ValueError("LinkSpec: phit_bits must be >= 1 or None")
+        if self.pipeline_latency < 0:
+            raise ValueError("LinkSpec: pipeline_latency must be >= 0")
+        if self.sync_stages < 1:
+            raise ValueError("LinkSpec: sync_stages must be >= 1")
+        if self.capacity is not None and self.capacity < 1:
+            raise ValueError("LinkSpec: capacity must be >= 1 or None")
+
+    def transparent(self, crosses_domains: bool = False) -> bool:
+        """True when this spec can be wired as a raw shared queue."""
+        return (
+            self.phit_bits is None
+            and self.pipeline_latency == 0
+            and not crosses_domains
+        )
+
+
+def _domain_name(domain) -> Optional[str]:
+    return None if domain is None else domain.name
+
+
+def domains_cross(producer_domain, consumer_domain) -> bool:
+    """True when two link ends are asynchronous to each other.
+
+    Domains are compared by *name* (``None`` = the kernel reference
+    clock): two differently-named domains are asynchronous even at equal
+    ratios, so a crossing needs a synchronizer.  This is the single
+    source of truth for both the network's wiring decision (transparent
+    queue vs link component) and the link's own CDC decision.
+    """
+    return _domain_name(producer_domain) != _domain_name(consumer_domain)
+
+
 class PhysicalLink(Component):
     """Serializing, pipelined point-to-point link between two flit queues.
 
@@ -34,6 +111,20 @@ class PhysicalLink(Component):
         Determines the serialization factor (1 = full-width link).
     pipeline_latency:
         Extra cycles of wire delay added to every flit (0 = none).
+    producer_domain / consumer_domain:
+        Clock domains of the two ends (``None`` = kernel reference
+        clock).  Serialization advances on producer edges and delivery on
+        consumer edges.  When the ends are in *different* domains the
+        link synchronizes every flit for ``sync_stages`` consumer edges —
+        the CDC is part of the link, not a bolt-on.
+
+    Activity contract: the link registers ``wake_on_push`` with its
+    upstream queue and ``wake_on_pop`` with its downstream queue, and
+    :meth:`is_idle` is true only when nothing is buffered upstream,
+    shifting, piped, crossing or awaiting delivery — so serialized links
+    retire from the schedule exactly like any other component.  The link
+    itself is never domain-gated by the kernel (it spans two domains);
+    it self-gates each side on the matching domain's edges.
     """
 
     def __init__(
@@ -44,29 +135,97 @@ class PhysicalLink(Component):
         flit_bits: int = 72,
         phit_bits: int = 72,
         pipeline_latency: int = 0,
+        producer_domain=None,
+        consumer_domain=None,
+        sync_stages: int = 2,
     ) -> None:
         super().__init__(name)
         if pipeline_latency < 0:
             raise ValueError("pipeline latency must be >= 0")
+        if sync_stages < 1:
+            raise ValueError("sync_stages must be >= 1")
         self.upstream = upstream
         self.downstream = downstream
         self.flit_bits = flit_bits
         self.phit_bits = phit_bits
         self.pipeline_latency = pipeline_latency
+        self.producer_domain = producer_domain
+        self.consumer_domain = consumer_domain
+        self.sync_stages = sync_stages
+        # Asynchronous ends (see domains_cross): every flit takes the
+        # synchronizer.
+        self.crosses_domains = domains_cross(producer_domain, consumer_domain)
         self.serialization = phits_per_flit(flit_bits, phit_bits)
         self._shifting: Optional[Tuple[Flit, int]] = None  # (flit, phits left)
         self._pipe: Deque[Tuple[int, Flit]] = deque()  # (ready cycle, flit)
+        self._crossing: Deque[List] = deque()  # [consumer edges left, flit]
+        self._deliver: Deque[Flit] = deque()  # synchronized, awaiting room
+        self._max_in_flight = pipeline_latency + 1 + (
+            sync_stages if self.crosses_domains else 0
+        )
         self.flits_carried = 0
         self.phits_carried = 0
+        upstream.wake_on_push(self)
+        downstream.wake_on_pop(self)
 
+    # ------------------------------------------------------------------ #
+    # activity protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def in_flight(self) -> int:
+        """Flits somewhere inside the link (not counting upstream)."""
+        return (
+            (1 if self._shifting is not None else 0)
+            + len(self._pipe)
+            + len(self._crossing)
+            + len(self._deliver)
+        )
+
+    def is_idle(self) -> bool:
+        """Nothing upstream and nothing in flight: every tick is a no-op
+        until the upstream queue commits a push (which wakes us)."""
+        return self.in_flight == 0 and not self.upstream
+
+    def idle(self) -> bool:
+        """No flit on the wires or in the synchronizer (drain check)."""
+        return self.in_flight == 0
+
+    # ------------------------------------------------------------------ #
+    # the cycle
+    # ------------------------------------------------------------------ #
     def tick(self, cycle: int) -> None:
-        # Deliver flits whose pipeline delay matured.
-        while self._pipe and self._pipe[0][0] <= cycle:
-            if not self.downstream.can_push():
-                break
-            __, flit = self._pipe.popleft()
-            self.downstream.push(flit)
-            self.flits_carried += 1
+        producer = self.producer_domain
+        consumer = self.consumer_domain
+        on_consumer = consumer is None or consumer.active(cycle)
+
+        if on_consumer:
+            if self.crosses_domains:
+                # Age the synchronizer one consumer edge; flits mature
+                # strictly in order (all entries share sync_stages).
+                if self._crossing:
+                    for entry in self._crossing:
+                        entry[0] -= 1
+                    while self._crossing and self._crossing[0][0] <= 0:
+                        self._deliver.append(self._crossing.popleft()[1])
+                # Pipeline-matured flits enter the synchronizer.
+                while self._pipe and self._pipe[0][0] <= cycle:
+                    __, flit = self._pipe.popleft()
+                    self._crossing.append([self.sync_stages, flit])
+                # Deliver synchronized flits while downstream has room.
+                while self._deliver and self.downstream.can_push():
+                    self.downstream.push(self._deliver.popleft())
+                    self.flits_carried += 1
+            else:
+                # Same-domain link: deliver flits whose pipeline matured.
+                while self._pipe and self._pipe[0][0] <= cycle:
+                    if not self.downstream.can_push():
+                        break
+                    __, flit = self._pipe.popleft()
+                    self.downstream.push(flit)
+                    self.flits_carried += 1
+
+        if producer is not None and not producer.active(cycle):
+            return
 
         # Shift phits of the flit currently on the wires.
         if self._shifting is not None:
@@ -83,22 +242,20 @@ class PhysicalLink(Component):
             return
 
         # Start serializing the next flit, with lookahead backpressure:
-        # never take a flit off the upstream queue unless the downstream
-        # side will have room by the time it arrives (bounded pipe).
-        if self.upstream and len(self._pipe) < self.pipeline_latency + 1:
+        # never take a flit off the upstream queue unless the in-flight
+        # window (pipe + synchronizer + delivery staging) has room, so a
+        # blocked downstream stalls the wires instead of dropping flits.
+        if self.upstream and self.in_flight < self._max_in_flight:
             flit = self.upstream.pop()
             self._shifting = (flit, self.serialization)
-            self.phits_carried += 0  # counted as phits shift
 
     @property
     def bandwidth_bits_per_cycle(self) -> float:
-        """Peak payload bandwidth of this link."""
+        """Peak payload bandwidth of this link (producer-clock cycles)."""
         return self.flit_bits / self.serialization
 
     @property
     def latency_cycles(self) -> int:
-        """Cycles from first phit to delivery for one flit."""
+        """Cycles from first phit to delivery for one flit (same-domain;
+        a CDC adds ``sync_stages`` consumer edges on top)."""
         return self.serialization + self.pipeline_latency
-
-    def idle(self) -> bool:
-        return self._shifting is None and not self._pipe

@@ -32,6 +32,17 @@ class Component:
 
     Under those rules the activity-driven schedule is cycle-for-cycle
     identical to ticking everything (``Simulator(strict=True)``).
+
+    Clock domains
+    -------------
+    Every component belongs to a clock domain.  The default is the kernel
+    reference clock (``clock_domain is None``): the component is ticked on
+    every kernel cycle, exactly as before.  :meth:`set_clock_domain`
+    assigns a slower GALS-style domain; both kernels (activity-driven and
+    strict) then invoke :meth:`tick` only on that domain's clock edges, so
+    domain gating never perturbs strict-vs-activity determinism.  Ticks
+    always receive the *kernel* cycle number — timestamps, latencies and
+    traces stay in one global time base regardless of domain membership.
     """
 
     def __init__(self, name: str) -> None:
@@ -40,6 +51,12 @@ class Component:
         # Scheduler bookkeeping (owned by Simulator; see kernel.py).
         self._scheduled = False
         self._sched_index = -1
+        # Clock-domain gating (see set_clock_domain); divisor 1 == the
+        # kernel reference clock, checked on the kernel hot path as two
+        # plain ints so ungated components pay one compare per tick.
+        self.clock_domain = None
+        self._clk_divisor = 1
+        self._clk_phase = 0
 
     @property
     def simulator(self):
@@ -60,6 +77,23 @@ class Component:
                 f"component {self.name!r} is already bound to another simulator"
             )
         self._simulator = simulator
+
+    def set_clock_domain(self, domain) -> None:
+        """Place this component in ``domain`` (a
+        :class:`~repro.phys.clocking.ClockDomain` or anything with integer
+        ``divisor``/``phase`` attributes).  The kernel then ticks it only
+        on cycles where ``cycle % divisor == phase``.  ``None`` restores
+        the kernel reference clock.  Divisor-1 domains are exactly the
+        reference clock, so assigning one is cycle-identical to the
+        default.
+        """
+        self.clock_domain = domain
+        if domain is None:
+            self._clk_divisor = 1
+            self._clk_phase = 0
+        else:
+            self._clk_divisor = domain.divisor
+            self._clk_phase = domain.phase
 
     def wake(self) -> None:
         """(Re-)schedule this component so it ticks next cycle.

@@ -44,6 +44,16 @@ class Simulator:
     per-cycle *dirty list* and only dirty queues are committed, so a
     quiescent fabric costs neither component ticks nor queue sweeps.
 
+    Clock domains
+    -------------
+    Components placed in a GALS clock domain via
+    :meth:`Component.set_clock_domain` are ticked only on that domain's
+    edges (``cycle % divisor == phase``).  The gate is applied identically
+    on the activity-driven path and the strict reference path, so domain
+    membership composes with the active-set schedule without perturbing
+    determinism: an idle slow-domain component is retired and woken like
+    any other, and merely skips the off-edge cycles while scheduled.
+
     ``strict=True`` (or the ``REPRO_SIM_STRICT=1`` environment variable)
     selects the brute-force reference path — tick every component, commit
     every queue — which must produce byte-identical stats and traces;
@@ -148,7 +158,11 @@ class Simulator:
             run_list.sort(key=_sched_key)
         cycle = self.cycle
         for component in run_list:
-            component.tick(cycle)
+            # Clock-domain gate: divisor 1 (the kernel reference clock)
+            # short-circuits, so single-domain builds pay one compare.
+            divisor = component._clk_divisor
+            if divisor == 1 or cycle % divisor == component._clk_phase:
+                component.tick(cycle)
         # Commit only queues that staged something this cycle; commits
         # wake push-waiters, which lands them in _wakes for next cycle.
         dirty = self._dirty_queues
@@ -179,7 +193,9 @@ class Simulator:
         """Reference path: tick everything, commit everything."""
         cycle = self.cycle
         for component in self._components:
-            component.tick(cycle)
+            divisor = component._clk_divisor
+            if divisor == 1 or cycle % divisor == component._clk_phase:
+                component.tick(cycle)
         for queue in self._queues:
             queue.commit()
         # Keep scheduler bookkeeping bounded; strict mode never prunes.

@@ -8,6 +8,13 @@ how benchmark E1 compares the two architectures on identical workloads.
 """
 
 from repro.soc.builder import NocSoc, SocBuilder
-from repro.soc.config import InitiatorSpec, TargetSpec
+from repro.soc.config import ClockDomain, InitiatorSpec, LinkSpec, TargetSpec
 
-__all__ = ["InitiatorSpec", "NocSoc", "SocBuilder", "TargetSpec"]
+__all__ = [
+    "ClockDomain",
+    "InitiatorSpec",
+    "LinkSpec",
+    "NocSoc",
+    "SocBuilder",
+    "TargetSpec",
+]

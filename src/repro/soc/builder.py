@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.core.address_map import AddressMap
 from repro.core.layer import TransactionLayerConfig, build_layer_config
@@ -15,6 +15,8 @@ from repro.niu.base import InitiatorNiu, TargetNiu
 from repro.niu.ocp_niu import OcpInitiatorNiu
 from repro.niu.proprietary_niu import MsgInitiatorNiu
 from repro.niu.vci_niu import VciInitiatorNiu
+from repro.phys.clocking import ClockDomain, make_clock_domain
+from repro.phys.link import LinkSpec
 from repro.protocols.ahb import AhbMaster
 from repro.protocols.axi import AxiMaster
 from repro.protocols.base import ProtocolMaster, SlaveSocket
@@ -141,7 +143,24 @@ class SocBuilder:
     topology) are all constructor parameters so benchmarks can sweep them
     while holding the IP and NIU configuration constant — the layering
     experiments depend on exactly that separation.
+
+    Physical-layer knobs (all default to the ideal physical layer, which
+    is cycle-identical to a build that never mentions them):
+
+    - ``links`` — a :class:`~repro.phys.link.LinkSpec` applied to every
+      inter-router connection, or a mapping with keys ``"router"``
+      (inter-router links) and/or ``"endpoint"`` (NIU↔router links);
+    - ``clock_domains`` — mapping of domain name to
+      :class:`~repro.phys.clocking.ClockDomain`, integer divisor, or
+      ``(divisor, phase)`` tuple; these are the names initiator/target
+      ``region=`` fields and ``fabric_region`` refer to;
+    - ``fabric_region`` — the clock domain the routers (and the fabric
+      side of every link) run in; ``None`` = kernel reference clock.
+      Endpoints whose region differs from the fabric's domain get CDC
+      synchronizers folded into their links automatically.
     """
+
+    _LINK_CLASSES = ("router", "endpoint")
 
     def __init__(
         self,
@@ -155,6 +174,9 @@ class SocBuilder:
         trace: Optional[Tracer] = None,
         transport_lock_support: Optional[bool] = None,
         strict_kernel: Optional[bool] = None,
+        links: Optional[Union[LinkSpec, Dict[str, LinkSpec]]] = None,
+        clock_domains: Optional[Dict[str, object]] = None,
+        fabric_region: Optional[str] = None,
     ) -> None:
         self.name = name
         self.mode = mode
@@ -170,6 +192,9 @@ class SocBuilder:
         # None = activity-driven kernel (or REPRO_SIM_STRICT env);
         # True = brute-force tick-everything reference kernel.
         self.strict_kernel = strict_kernel
+        self.links = links
+        self.clock_domains = clock_domains
+        self.fabric_region = fabric_region
         self.initiators: List[InitiatorSpec] = []
         self.targets: List[TargetSpec] = []
 
@@ -200,11 +225,66 @@ class SocBuilder:
             base = spec.base
             if base is None:
                 base = cursor
-            address_map.add_range(
-                base, spec.size, slv_addr=n_init + index, name=spec.name
-            )
+            try:
+                address_map.add_range(
+                    base, spec.size, slv_addr=n_init + index, name=spec.name
+                )
+            except ValueError as exc:
+                # Aliased targets are a spec bug: name the offender so
+                # the fix points at the TargetSpec, not the map internals.
+                raise ValueError(
+                    f"target {spec.name!r}: explicit base {base:#x} aliases "
+                    f"an already-assigned range in the SoC address map "
+                    f"({exc})"
+                ) from exc
             cursor = max(cursor, base + spec.size)
         return address_map
+
+    # ------------------------------------------------------------------ #
+    # physical-layer resolution
+    # ------------------------------------------------------------------ #
+    def _resolve_clock_domains(self) -> Dict[str, ClockDomain]:
+        return {
+            name: make_clock_domain(name, value)
+            for name, value in (self.clock_domains or {}).items()
+        }
+
+    def _domain_for(
+        self,
+        region: Optional[str],
+        domains: Dict[str, ClockDomain],
+        owner: str,
+    ) -> Optional[ClockDomain]:
+        if region is None:
+            return None
+        try:
+            return domains[region]
+        except KeyError:
+            raise ValueError(
+                f"{owner}: unknown clock region {region!r}; declared "
+                f"domains: {sorted(domains) or '(none)'}"
+            ) from None
+
+    def _resolve_links(self) -> Dict[str, Optional[LinkSpec]]:
+        """Normalize the ``links=`` knob to {"router": spec, "endpoint": spec}."""
+        resolved: Dict[str, Optional[LinkSpec]] = {
+            cls: None for cls in self._LINK_CLASSES
+        }
+        if self.links is None:
+            return resolved
+        if isinstance(self.links, LinkSpec):
+            resolved["router"] = self.links
+            return resolved
+        for cls, spec in self.links.items():
+            if cls not in self._LINK_CLASSES:
+                raise ValueError(
+                    f"links: unknown link class {cls!r}; known: "
+                    f"{self._LINK_CLASSES}"
+                )
+            if not isinstance(spec, LinkSpec):
+                raise ValueError(f"links[{cls!r}]: expected a LinkSpec")
+            resolved[cls] = spec
+        return resolved
 
     def build(self) -> NocSoc:
         if not self.initiators:
@@ -214,6 +294,25 @@ class SocBuilder:
         sim = Simulator(trace=self.trace, strict=self.strict_kernel)
         endpoints = len(self.initiators) + len(self.targets)
         topology = self.topology or self._default_topology(endpoints)
+
+        # Physical layer: clock regions and per-link-class wire specs.
+        domains = self._resolve_clock_domains()
+        fabric_domain = self._domain_for(self.fabric_region, domains, "fabric")
+        link_specs = self._resolve_links()
+        endpoint_domains: Dict[int, ClockDomain] = {}
+        for endpoint, ispec in enumerate(self.initiators):
+            domain = self._domain_for(
+                ispec.region, domains, f"initiator {ispec.name!r}"
+            )
+            if domain is not None:
+                endpoint_domains[endpoint] = domain
+        n_init_specs = len(self.initiators)
+        for index, tspec in enumerate(self.targets):
+            domain = self._domain_for(
+                tspec.region, domains, f"target {tspec.name!r}"
+            )
+            if domain is not None:
+                endpoint_domains[n_init_specs + index] = domain
 
         # Transaction-layer configuration from the attached socket set —
         # the paper's per-SoC customization step.
@@ -243,6 +342,10 @@ class SocBuilder:
                 if self.transport_lock_support is None
                 else self.transport_lock_support
             ),
+            link_spec=link_specs["router"],
+            endpoint_link_spec=link_specs["endpoint"],
+            fabric_domain=fabric_domain,
+            endpoint_domains=endpoint_domains,
         )
         address_map = self._build_address_map()
 
@@ -253,8 +356,13 @@ class SocBuilder:
             master = master_cls(
                 spec.name, sim, spec.traffic, **spec.protocol_kwargs
             )
+            domain = endpoint_domains.get(endpoint)
+            if domain is not None:
+                master.set_clock_domain(domain)
             sim.add(master)
             niu = _make_initiator_niu(spec, fabric, endpoint, address_map, master)
+            if domain is not None:
+                niu.set_clock_domain(domain)
             sim.add(niu)
             masters[spec.name] = master
             initiator_nius[spec.name] = niu
@@ -284,6 +392,9 @@ class SocBuilder:
                 exclusive_monitor=monitor,
                 lock_manager=locks,
             )
+            domain = endpoint_domains.get(endpoint)
+            if domain is not None:
+                target_niu.set_clock_domain(domain)
             sim.add(target_niu)
             memory = MemoryDevice(
                 spec.name,
@@ -294,6 +405,8 @@ class SocBuilder:
                 per_beat_cycles=spec.per_beat_cycles,
                 error_ranges=spec.error_ranges,
             )
+            if domain is not None:
+                memory.set_clock_domain(domain)
             sim.add(memory)
             target_nius[spec.name] = target_niu
             memories[spec.name] = memory

@@ -89,6 +89,12 @@ class Packetizer:
             )
         self._header_bits = header
 
+    @property
+    def flit_bits(self) -> int:
+        """Wire width of one flit (header + payload) — what the physical
+        layer serializes into phits."""
+        return self._header_bits + self.flit_payload_bits
+
     def segment(self, packet: NocPacket) -> List[Flit]:
         if self.packet_format is not None:
             packet.validate_against(self.packet_format)

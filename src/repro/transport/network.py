@@ -5,6 +5,17 @@ actually attach to: two independent planes — one for requests, one for
 responses — the standard construction that removes request/response
 protocol deadlock without virtual channels.
 
+Every connection — inter-router and NIU↔router — is built through a
+:class:`~repro.phys.link.LinkSpec`.  The default spec (full width, no
+pipeline stages, both ends in the same clock domain) wires the connection
+as one raw shared :class:`~repro.sim.queue.SimQueue`, exactly as a fabric
+with no physical layer: zero extra components, cycle-identical.  Anything
+else (narrow phits, wire pipelining, or a clock-domain boundary between
+an endpoint's region and the fabric domain) instantiates a
+:class:`~repro.phys.link.PhysicalLink` between two staging queues, with
+the CDC synchronizer folded into the link when the domains differ —
+per-link timing is part of the fabric, not a bolt-on.
+
 NIU-facing API (all packet granularity; flits are internal):
 
 - ``fabric.can_inject_request(ep)`` / ``fabric.inject_request(ep, pkt)``
@@ -15,9 +26,10 @@ NIU-facing API (all packet granularity; flits are internal):
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.packet import NocPacket, PacketFormat
+from repro.phys.link import LinkSpec, PhysicalLink, domains_cross
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator
 from repro.sim.queue import SimQueue
@@ -123,6 +135,10 @@ class Network:
         routing: str = "table",
         endpoint_queue_capacity: int = 4,
         lock_support: bool = True,
+        link_spec: Optional[LinkSpec] = None,
+        endpoint_link_spec: Optional[LinkSpec] = None,
+        fabric_domain=None,
+        endpoint_domains: Optional[Dict[int, object]] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -131,6 +147,14 @@ class Network:
         self.flit_payload_bits = flit_payload_bits
         self.buffer_capacity = buffer_capacity
         self.packetizer = Packetizer(flit_payload_bits, packet_format)
+        self.link_spec = link_spec if link_spec is not None else LinkSpec()
+        self.endpoint_link_spec = (
+            endpoint_link_spec if endpoint_link_spec is not None else LinkSpec()
+        )
+        self.fabric_domain = fabric_domain
+        self.endpoint_domains = dict(endpoint_domains or {})
+        self.links: List[PhysicalLink] = []
+        self._link_feed_queues: List[SimQueue] = []
 
         if routing == "xy":
             tables = compute_xy_tables(topology)
@@ -150,57 +174,116 @@ class Network:
                 arbiter=make_arbiter(arbiter),
                 lock_support=lock_support,
             )
+            if fabric_domain is not None:
+                router.set_clock_domain(fabric_domain)
             sim.add(router)
             self.routers[router_id] = router
 
         # Inter-router links: router A's output "to:B" feeds router B's
-        # input "in:A" (one queue per direction).
+        # input "in:A" (one link per direction, built per the link spec —
+        # a transparent spec degenerates to one shared queue).
         for a, b in sorted(topology.graph.edges, key=str):
             for src, dst in ((a, b), (b, a)):
-                queue = sim.new_queue(
-                    f"{name}.link.{src}->{dst}", capacity=buffer_capacity
+                feed, delivery = self._build_link(
+                    f"{name}.link.{src}->{dst}",
+                    self.link_spec,
+                    fabric_domain,
+                    fabric_domain,
                 )
-                self.routers[src].add_output(port_to(dst), queue)
-                self.routers[dst].add_input(f"in:{src}", queue)
+                self.routers[src].add_output(port_to(dst), feed)
+                self.routers[dst].add_input(f"in:{src}", delivery)
 
-        # Endpoint attachment: injection + ejection per endpoint.
+        # Endpoint attachment: injection + ejection per endpoint.  An
+        # endpoint whose region differs from the fabric domain gets the
+        # CDC folded into its links automatically.
         self._inject_queues: Dict[int, SimQueue] = {}
         self._eject_queues: Dict[int, SimQueue] = {}
         self.injection_ports: Dict[int, InjectionPort] = {}
         self.ejection_ports: Dict[int, EjectionPort] = {}
         for endpoint in topology.endpoints:
             router = self.routers[topology.router_of(endpoint)]
+            ep_domain = self.endpoint_domains.get(endpoint)
             inj_packets = sim.new_queue(
                 f"{name}.inj.{endpoint}.pkts", capacity=endpoint_queue_capacity
             )
-            inj_flits = sim.new_queue(
-                f"{name}.inj.{endpoint}.flits", capacity=buffer_capacity
+            inj_feed, inj_delivery = self._build_link(
+                f"{name}.inj.{endpoint}.flits",
+                self.endpoint_link_spec,
+                ep_domain,
+                fabric_domain,
             )
-            router.add_input(f"inj:{endpoint}", inj_flits)
+            router.add_input(f"inj:{endpoint}", inj_delivery)
             port = InjectionPort(
                 f"{name}.inj.{endpoint}",
                 endpoint,
                 self.packetizer,
                 inj_packets,
-                inj_flits,
+                inj_feed,
             )
+            if ep_domain is not None:
+                port.set_clock_domain(ep_domain)
             sim.add(port)
             self._inject_queues[endpoint] = inj_packets
             self.injection_ports[endpoint] = port
 
-            ej_flits = sim.new_queue(
-                f"{name}.ej.{endpoint}.flits", capacity=buffer_capacity
+            ej_feed, ej_delivery = self._build_link(
+                f"{name}.ej.{endpoint}.flits",
+                self.endpoint_link_spec,
+                fabric_domain,
+                ep_domain,
             )
-            router.add_output(port_local(endpoint), ej_flits)
+            router.add_output(port_local(endpoint), ej_feed)
             ej_packets = sim.new_queue(
                 f"{name}.ej.{endpoint}.pkts", capacity=endpoint_queue_capacity
             )
             eport = EjectionPort(
-                f"{name}.ej.{endpoint}", endpoint, ej_flits, ej_packets
+                f"{name}.ej.{endpoint}", endpoint, ej_delivery, ej_packets
             )
+            if ep_domain is not None:
+                eport.set_clock_domain(ep_domain)
             sim.add(eport)
             self._eject_queues[endpoint] = ej_packets
             self.ejection_ports[endpoint] = eport
+
+    # ------------------------------------------------------------------ #
+    # physical-layer wiring
+    # ------------------------------------------------------------------ #
+    def _build_link(
+        self, qname: str, spec: LinkSpec, producer_domain, consumer_domain
+    ) -> Tuple[SimQueue, SimQueue]:
+        """Build one directed connection per ``spec``.
+
+        Returns ``(feed, delivery)``: the producer pushes into ``feed``
+        and the consumer pops from ``delivery``.  A transparent spec
+        (ideal wire, same domain at both ends) returns one shared queue
+        under the historical link name — byte-identical wiring to a
+        fabric without a physical layer.  Otherwise a
+        :class:`PhysicalLink` (serialization, pipeline, CDC when the
+        domains differ) is instantiated between two staging queues.
+        """
+        crosses = domains_cross(producer_domain, consumer_domain)
+        if spec.transparent(crosses):
+            queue = self.sim.new_queue(qname, capacity=self.buffer_capacity)
+            return queue, queue
+        capacity = spec.capacity or self.buffer_capacity
+        feed = self.sim.new_queue(f"{qname}.tx", capacity=capacity)
+        delivery = self.sim.new_queue(qname, capacity=capacity)
+        flit_bits = self.packetizer.flit_bits
+        link = PhysicalLink(
+            f"{qname}.phy",
+            feed,
+            delivery,
+            flit_bits=flit_bits,
+            phit_bits=spec.phit_bits or flit_bits,
+            pipeline_latency=spec.pipeline_latency,
+            producer_domain=producer_domain,
+            consumer_domain=consumer_domain,
+            sync_stages=spec.sync_stages,
+        )
+        self.sim.add(link)
+        self.links.append(link)
+        self._link_feed_queues.append(feed)
+        return feed, delivery
 
     # ------------------------------------------------------------------ #
     # NIU-facing API
@@ -248,6 +331,15 @@ class Network:
         for eport in self.ejection_ports.values():
             if eport.flit_queue.occupancy or eport.reassembler.mid_packet:
                 return False
+        # Physical links: flits may be staged on the feed side (a router
+        # output that is no longer any router's input) or in flight on
+        # the wires / in a synchronizer.
+        for queue in self._link_feed_queues:
+            if queue.occupancy:
+                return False
+        for link in self.links:
+            if link.in_flight:
+                return False
         return True
 
     def mean_link_utilization(self, cycles: int) -> float:
@@ -281,11 +373,17 @@ class Fabric:
         packet_format: Optional[PacketFormat] = None,
         routing: str = "table",
         lock_support: bool = True,
+        link_spec: Optional[LinkSpec] = None,
+        endpoint_link_spec: Optional[LinkSpec] = None,
+        fabric_domain=None,
+        endpoint_domains: Optional[Dict[int, object]] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.name = name
         self.packet_format = packet_format
+        self.fabric_domain = fabric_domain
+        self.endpoint_domains = dict(endpoint_domains or {})
         common = dict(
             mode=mode,
             flit_payload_bits=flit_payload_bits,
@@ -294,6 +392,10 @@ class Fabric:
             packet_format=packet_format,
             routing=routing,
             lock_support=lock_support,
+            link_spec=link_spec,
+            endpoint_link_spec=endpoint_link_spec,
+            fabric_domain=fabric_domain,
+            endpoint_domains=endpoint_domains,
         )
         self.request_plane = Network(sim, topology, name=f"{name}.req", **common)
         self.response_plane = Network(sim, topology, name=f"{name}.rsp", **common)
@@ -322,6 +424,14 @@ class Fabric:
 
     def idle(self) -> bool:
         return self.request_plane.idle() and self.response_plane.idle()
+
+    @property
+    def physical_links(self) -> List[PhysicalLink]:
+        """Every non-transparent link across both planes (introspection)."""
+        return self.request_plane.links + self.response_plane.links
+
+    def total_phits_carried(self) -> int:
+        return sum(link.phits_carried for link in self.physical_links)
 
     def total_flits_forwarded(self) -> int:
         return (

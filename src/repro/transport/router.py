@@ -5,7 +5,14 @@ only the head-flit routing fields (destination, source, priority, the
 LOCK marker) and moves opaque flits.  Micro-architecture:
 
 - one FIFO buffer per input port (upstream routers / injection ports push
-  into it — the staged queue gives one cycle per hop);
+  into it — the staged queue gives one cycle per hop).  Ports are wired
+  by :class:`~repro.transport.network.Network` through link objects: on
+  an ideal same-domain link the output queue *is* the downstream
+  router's input buffer, while a serialized/piped/CDC link interposes a
+  :class:`~repro.phys.link.PhysicalLink` whose feed queue the router
+  sees as its output — backpressure and switching-mode gates then apply
+  to the link's staging buffer, which is exactly the wire-side FIFO a
+  narrow link would have in hardware;
 - per-output arbitration each cycle (policy pluggable, see
   :mod:`repro.transport.qos`); one flit per output per cycle;
 - wormhole allocation: once a head flit wins an output, that output is

@@ -38,6 +38,13 @@ class Topology:
         self.graph = graph
         self.endpoint_router = dict(endpoint_router)
         self.name = name
+        # Reverse index so wiring never rescans the whole endpoint map
+        # per router (endpoints_at used to be O(endpoints) per call).
+        self._router_endpoints: Dict[RouterId, List[int]] = {}
+        for endpoint in sorted(self.endpoint_router):
+            self._router_endpoints.setdefault(
+                self.endpoint_router[endpoint], []
+            ).append(endpoint)
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -54,9 +61,8 @@ class Topology:
         return sorted(self.graph.neighbors(router), key=str)
 
     def endpoints_at(self, router: RouterId) -> List[int]:
-        return sorted(
-            ep for ep, r in self.endpoint_router.items() if r == router
-        )
+        """Endpoints attached to ``router`` (precomputed, ascending)."""
+        return list(self._router_endpoints.get(router, ()))
 
     def router_of(self, endpoint: int) -> RouterId:
         try:

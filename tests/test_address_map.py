@@ -57,6 +57,21 @@ class TestConstruction:
         with pytest.raises(ValueError):
             m.add_range(0x2800, 0x100, slv_addr=5)
 
+    def test_overlap_rejected_every_direction(self):
+        """The bisect-neighbour check catches all overlap geometries:
+        exact alias, strict containment, straddling both edges."""
+        m = small_map()
+        for base, size in [
+            (0x2000, 0x2000),  # exact alias of ram
+            (0x2100, 0x10),    # contained inside ram
+            (0x1F00, 0x200),   # straddles ram's start
+            (0x3F00, 0x200),   # straddles ram's end
+            (0x0000, 0x10000), # swallows everything
+        ]:
+            with pytest.raises(ValueError):
+                m.add_range(base, size, slv_addr=9)
+        assert len(m) == 3  # nothing was inserted by the failed adds
+
     def test_adjacent_ok(self):
         m = small_map()
         m.add_range(0x1000, 0x1000, slv_addr=3)

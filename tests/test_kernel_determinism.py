@@ -21,7 +21,7 @@ from repro.ip.masters import (
 )
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Tracer
-from repro.soc import InitiatorSpec, SocBuilder, TargetSpec
+from repro.soc import InitiatorSpec, LinkSpec, SocBuilder, TargetSpec
 
 
 @pytest.fixture(autouse=True)
@@ -101,6 +101,57 @@ def build_lock_soc(strict):
     return builder.build()
 
 
+def build_gals_soc(strict):
+    """GALS + narrow serialized links + CDC boundaries: initiators and
+    targets in three clock regions, a distinct fabric domain, phit-level
+    serialization on every class of link and wire pipelining between
+    routers — the physical layer at its least transparent."""
+    _reset_ids()
+    ranges = [(0, 0x2000), (0x2000, 0x2000)]
+    builder = SocBuilder(
+        trace=Tracer(enabled=True),
+        strict_kernel=strict,
+        links={
+            "router": LinkSpec(phit_bits=48, pipeline_latency=1),
+            "endpoint": LinkSpec(phit_bits=96, sync_stages=3),
+        },
+        clock_domains={"cpu": 2, "io": (3, 1), "fab": 1},
+        fabric_region="fab",
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "cpu_ahb", "AHB",
+            cpu_workload("cpu_ahb", ranges, count=15, seed=1),
+            region="cpu",
+        )
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "gpu_axi", "AXI",
+            random_workload(
+                "gpu_axi", ranges, count=15, seed=2, tags=4, rate=0.3,
+                burst_beats=(1, 4),
+            ),
+            protocol_kwargs={"id_count": 4},
+        )
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "acc_msg", "PROPRIETARY",
+            dma_workload("acc_msg", base=0x1000, bytes_total=128),
+        )
+    )
+    builder.add_target(
+        TargetSpec("dram", size=0x2000, read_latency=6, write_latency=3,
+                   region="io")
+    )
+    builder.add_target(
+        TargetSpec("sram", size=0x2000, read_latency=2, write_latency=1,
+                   region="cpu")
+    )
+    return builder.build()
+
+
 def fingerprint(soc, cycles):
     soc.run(cycles)
     sim = soc.sim
@@ -146,8 +197,12 @@ def fingerprint(soc, cycles):
 
 @pytest.mark.parametrize(
     "build, cycles",
-    [(build_mixed_soc, 4000), (build_lock_soc, 3000)],
-    ids=["mixed-protocols", "legacy-lock"],
+    [
+        (build_mixed_soc, 4000),
+        (build_lock_soc, 3000),
+        (build_gals_soc, 5000),
+    ],
+    ids=["mixed-protocols", "legacy-lock", "gals-serialized-links"],
 )
 def test_activity_kernel_matches_reference(build, cycles):
     activity = fingerprint(build(strict=False), cycles)
@@ -165,6 +220,19 @@ def test_activity_kernel_completes_all_traffic():
     soc.run(16)
     assert soc.sim.active_count == 0
     assert len(soc.sim.components) > 0
+
+
+def test_gals_soc_drains_and_retires():
+    """Serialized links, CDC synchronizers and domain-gated components
+    all honour the wake protocol: traffic completes and the quiescent
+    GALS SoC leaves the schedule entirely."""
+    soc = build_gals_soc(strict=False)
+    soc.run_to_completion(max_cycles=400_000)
+    assert all(m.finished() for m in soc.masters.values())
+    assert soc.fabric.physical_links  # the phys path was actually built
+    assert all(link.in_flight == 0 for link in soc.fabric.physical_links)
+    soc.run(16)
+    assert soc.sim.active_count == 0
 
 
 def test_strict_env_flag(monkeypatch):

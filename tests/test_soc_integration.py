@@ -2,10 +2,11 @@
 
 import pytest
 
+from repro.bus.system import build_bus_soc
 from repro.core.transaction import make_read, make_write
 from repro.ip.masters import cpu_workload, dma_workload, random_workload
 from repro.ip.traffic import ScriptedTraffic
-from repro.soc import InitiatorSpec, SocBuilder, TargetSpec
+from repro.soc import InitiatorSpec, LinkSpec, SocBuilder, TargetSpec
 from repro.transport import topology as topo
 from repro.transport.switching import SwitchingMode
 
@@ -143,3 +144,120 @@ class TestTopologyAndFabricKnobs:
         soc.run_to_completion(max_cycles=20_000)
         assert soc.masters["m"].completed == 1
         assert soc.masters["m"].errors == 0
+
+    def test_aliased_target_base_rejected(self):
+        """An explicit TargetSpec.base that overlaps an already-assigned
+        range is a spec bug: the builder raises, naming the offender."""
+        builder = SocBuilder()
+        builder.add_initiator(
+            InitiatorSpec("m", "AHB", ScriptedTraffic([]))
+        )
+        builder.add_target(TargetSpec("lo", size=0x1000))
+        builder.add_target(TargetSpec("alias", size=0x1000, base=0x800))
+        with pytest.raises(ValueError, match="alias"):
+            builder.build()
+
+    def test_aliased_target_base_rejected_by_bus_builder(self):
+        inits = [InitiatorSpec("m", "AHB", ScriptedTraffic([]))]
+        tgts = [
+            TargetSpec("lo", size=0x1000),
+            TargetSpec("alias", size=0x100, base=0x0),
+        ]
+        with pytest.raises(ValueError, match="alias"):
+            build_bus_soc(inits, tgts)
+
+
+class TestPhysicalLayerKnobs:
+    def _scripted_specs(self):
+        script = [
+            make_write(0x100, [0x11, 0x22, 0x33, 0x44]),
+            make_write(0x1200, [0xAA]),
+            make_read(0x100, beats=4),
+            make_read(0x1200),
+        ]
+        inits = [
+            InitiatorSpec("cpu", "AXI", ScriptedTraffic(list(script)),
+                          protocol_kwargs={"id_count": 2}),
+        ]
+        tgts = [TargetSpec("mem0", size=0x1000), TargetSpec("mem1", size=0x1000)]
+        return inits, tgts
+
+    def _build(self, **kwargs):
+        inits, tgts = self._scripted_specs()
+        builder = SocBuilder(**kwargs)
+        for spec in inits:
+            builder.add_initiator(spec)
+        for spec in tgts:
+            builder.add_target(spec)
+        return builder.build()
+
+    def test_physical_layer_invisible_to_transactions(self):
+        """The paper's claim: narrow links, wire pipelining, GALS domains
+        and CDCs change timing only — the transaction outcome (completions,
+        errors, memory image) is identical to the ideal physical layer."""
+        ideal = self._build()
+        ideal.run_to_completion(max_cycles=50_000)
+
+        inits, tgts = self._scripted_specs()
+        builder = SocBuilder(
+            links={
+                "router": LinkSpec(phit_bits=24, pipeline_latency=2),
+                "endpoint": LinkSpec(phit_bits=48),
+            },
+            clock_domains={"slow": 3, "fab": 1},
+            fabric_region="fab",
+        )
+        for spec in inits:
+            spec.region = "slow"
+            builder.add_initiator(spec)
+        for spec in tgts:
+            builder.add_target(spec)
+        phys = builder.build()
+        phys.run_to_completion(max_cycles=400_000)
+
+        assert phys.total_completed() == ideal.total_completed()
+        assert phys.memory_image() == ideal.memory_image()
+        assert phys.ordering_violations() == 0
+        for master in phys.masters.values():
+            assert master.errors == 0
+        # ...and the physical path was genuinely exercised.
+        assert phys.fabric.total_phits_carried() > 0
+        assert phys.sim.cycle > ideal.sim.cycle  # slower, not different
+
+    def test_default_build_has_no_physical_components(self):
+        """Zero-cost default: no LinkSpec/region knobs → no PhysicalLink
+        components, identical wiring to the pre-physical-layer fabric."""
+        soc = self._build()
+        assert soc.fabric.physical_links == []
+        assert not any(".phy" in name for name in soc.sim._component_names)
+
+    def test_narrow_links_only_no_domains(self):
+        soc = self._build(links=LinkSpec(phit_bits=16))
+        soc.run_to_completion(max_cycles=200_000)
+        assert soc.total_completed() == 4
+        assert soc.fabric.total_phits_carried() > 0
+
+    def test_unknown_region_rejected(self):
+        inits, tgts = self._scripted_specs()
+        builder = SocBuilder(clock_domains={"a": 2})
+        for spec in inits:
+            spec.region = "missing"
+            builder.add_initiator(spec)
+        for spec in tgts:
+            builder.add_target(spec)
+        with pytest.raises(ValueError, match="missing"):
+            builder.build()
+
+    def test_unknown_fabric_region_rejected(self):
+        inits, tgts = self._scripted_specs()
+        builder = SocBuilder(fabric_region="nope")
+        for spec in inits:
+            builder.add_initiator(spec)
+        for spec in tgts:
+            builder.add_target(spec)
+        with pytest.raises(ValueError, match="nope"):
+            builder.build()
+
+    def test_unknown_link_class_rejected(self):
+        with pytest.raises(ValueError, match="link class"):
+            SocBuilder(links={"diagonal": LinkSpec()})._resolve_links()

@@ -68,6 +68,32 @@ class TestOtherShapes:
         assert t.hop_distance(0, 1) == 2
 
 
+class TestEndpointIndex:
+    def test_endpoints_at_matches_attachment_map(self):
+        t = topo.mesh(2, 2, endpoints=6)
+        for router in t.routers:
+            expected = sorted(
+                ep for ep, r in t.endpoint_router.items() if r == router
+            )
+            assert t.endpoints_at(router) == expected
+
+    def test_endpoints_at_unknown_router_is_empty(self):
+        t = topo.ring(3)
+        assert t.endpoints_at("nonexistent") == []
+
+    def test_index_is_precomputed_and_stable(self):
+        t = topo.star(4, endpoints=8)
+        first = t.endpoints_at(1)
+        # Returned lists are copies: callers cannot corrupt the index.
+        first.append(999)
+        assert 999 not in t.endpoints_at(1)
+
+    def test_every_endpoint_appears_exactly_once(self):
+        t = topo.tree(depth=2, fanout=2, endpoints=5)
+        seen = [ep for r in t.routers for ep in t.endpoints_at(r)]
+        assert sorted(seen) == t.endpoints
+
+
 class TestValidation:
     def test_disconnected_graph_rejected(self):
         g = nx.Graph()
