@@ -16,6 +16,11 @@ builders (``benchmarks/conftest.py``):
   serialization + wire pipelining), three clock domains and CDC
   synchronizers on every NIU↔router link.  Tracks the overhead of the
   phys path (PhysicalLink components + domain-gated ticking) across PRs.
+- ``vc_torus``    — a 4x4 torus with 2 virtual channels, DOR routing and
+  the dateline VC policy under mixed-priority traffic (best-effort mix
+  plus a high-priority video stream).  This workload cannot run at all
+  on the single-VC fabric (wraparound wormhole deadlocks); it tracks
+  the cost of the per-VC router path across PRs.
 
 Each workload runs under ``Simulator(strict=True)`` (tick everything,
 commit everything) and under the default activity-driven kernel, and the
@@ -26,6 +31,7 @@ Usage::
 
     PYTHONPATH=src python scripts/run_perf_bench.py [--out BENCH_kernel.json]
     PYTHONPATH=src python scripts/run_perf_bench.py --quick   # CI smoke
+    PYTHONPATH=src python scripts/run_perf_bench.py --quick --workload vc_torus
 """
 
 from __future__ import annotations
@@ -49,7 +55,10 @@ from benchmarks.conftest import (  # noqa: E402
     mixed_initiators,
     mixed_targets,
 )
+from repro.ip.masters import video_workload  # noqa: E402
 from repro.phys.link import LinkSpec  # noqa: E402
+from repro.soc import InitiatorSpec  # noqa: E402
+from repro.transport import topology as topo  # noqa: E402
 
 
 def _reset_global_ids() -> None:
@@ -103,6 +112,34 @@ def build_phys_gals(strict: bool, scale: int):
     )
 
 
+def build_vc_torus(strict: bool, scale: int):
+    """4x4 torus, 2 VCs, dateline policy, mixed-priority traffic.
+
+    The wraparound wormhole fabric this models deadlocks under a single
+    VC; DOR routing plus the dateline policy make it safe with two.
+    """
+    _reset_global_ids()
+    initiators = mixed_initiators(count=30 * scale, rate=0.35)
+    initiators.append(
+        InitiatorSpec(
+            "vid_axi", "AXI",
+            video_workload("vid_axi", base=0x1000, bytes_total=4096),
+            protocol_kwargs={"id_count": 2},
+        )
+    )
+    targets = mixed_targets()
+    endpoints = len(initiators) + len(targets)
+    return build_noc(
+        initiators,
+        targets,
+        strict_kernel=strict,
+        topology=topo.torus(4, 4, endpoints=endpoints),
+        routing="dor",
+        vcs=2,
+        vc_policy="dateline",
+    )
+
+
 def run_workload(builder, strict: bool, cycles: int, scale: int) -> dict:
     soc = builder(strict, scale)
     t0 = time.perf_counter()
@@ -127,6 +164,7 @@ WORKLOADS = {
     "idle_heavy": build_idle_heavy,
     "saturated": build_saturated,
     "phys_gals": build_phys_gals,
+    "vc_torus": build_vc_torus,
 }
 
 
@@ -149,8 +187,18 @@ def main(argv=None) -> int:
         help="measurement window in cycles (phys_gals)",
     )
     parser.add_argument(
+        "--vc-cycles", type=int, default=30_000,
+        help="measurement window in cycles (vc_torus)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="small windows for CI smoke runs",
+    )
+    parser.add_argument(
+        "--workload", action="append", choices=sorted(WORKLOADS),
+        metavar="NAME",
+        help="run only this workload (repeatable; default: all); existing "
+             "results for unselected workloads are preserved in the JSON",
     )
     args = parser.parse_args(argv)
 
@@ -158,16 +206,27 @@ def main(argv=None) -> int:
         "idle_heavy": 6_000 if args.quick else args.cycles,
         "saturated": 1_500 if args.quick else args.saturated_cycles,
         "phys_gals": 3_000 if args.quick else args.phys_cycles,
+        "vc_torus": 3_000 if args.quick else args.vc_cycles,
     }
     scale = 1
+    selected = {
+        name: builder
+        for name, builder in WORKLOADS.items()
+        if not args.workload or name in args.workload
+    }
 
     out = Path(args.out)
     # Baselines (e.g. the seed kernel, measured once per machine) are
-    # preserved across reruns so the JSON shows the cross-PR trajectory.
+    # preserved across reruns so the JSON shows the cross-PR trajectory;
+    # with --workload filters, untouched workloads keep their previous
+    # numbers too.
     baselines = {}
+    previous_workloads = {}
     if out.exists():
         try:
-            baselines = json.loads(out.read_text()).get("baselines", {})
+            previous = json.loads(out.read_text())
+            baselines = previous.get("baselines", {})
+            previous_workloads = previous.get("workloads", {})
         except (json.JSONDecodeError, OSError):
             pass
 
@@ -179,9 +238,13 @@ def main(argv=None) -> int:
             "quick": args.quick,
         },
         "baselines": baselines,
-        "workloads": {},
+        "workloads": {
+            name: numbers
+            for name, numbers in previous_workloads.items()
+            if name not in selected
+        },
     }
-    for name, builder in WORKLOADS.items():
+    for name, builder in selected.items():
         cycles = windows[name]
         print(f"== {name} ({cycles} cycles) ==")
         reference = run_workload(builder, True, cycles, scale)

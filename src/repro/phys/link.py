@@ -27,6 +27,7 @@ from typing import Deque, List, Optional, Tuple
 from repro.sim.component import Component
 from repro.sim.queue import SimQueue
 from repro.transport.flit import Flit
+from repro.transport.flow_control import CreditCounter
 
 
 def phits_per_flit(flit_bits: int, phit_bits: int) -> int:
@@ -248,6 +249,198 @@ class PhysicalLink(Component):
         if self.upstream and self.in_flight < self._max_in_flight:
             flit = self.upstream.pop()
             self._shifting = (flit, self.serialization)
+
+    @property
+    def bandwidth_bits_per_cycle(self) -> float:
+        """Peak payload bandwidth of this link (producer-clock cycles)."""
+        return self.flit_bits / self.serialization
+
+    @property
+    def latency_cycles(self) -> int:
+        """Cycles from first phit to delivery for one flit (same-domain;
+        a CDC adds ``sync_stages`` consumer edges on top)."""
+        return self.serialization + self.pipeline_latency
+
+
+class VcPhysicalLink(Component):
+    """One physical channel time-multiplexing several virtual channels.
+
+    The hardware reality virtual channels model: per-VC buffers at both
+    ends, **one** set of wires in between.  ``upstreams[v]`` /
+    ``downstreams[v]`` are the per-VC staging queues; the link serializes
+    one flit at a time over the shared ``phit_bits`` bundle, choosing the
+    next VC round-robin among those with a flit staged *and* a credit
+    available.  Credits are per VC (:class:`CreditCounter`, capacity =
+    the downstream buffer depth): a credit is consumed when a flit
+    leaves the upstream queue and returned — ``credit_return_latency``
+    producer edges later — when the downstream buffer drains, so a
+    blocked VC stalls only itself while the wires keep carrying the
+    other VCs.  Because every in-flight flit holds a credit, delivery
+    can never find its downstream buffer full; flits therefore never
+    reorder *within* a VC, while VCs interleave freely on the wires.
+
+    Pipelining and CDC behave as in :class:`PhysicalLink`: serialization
+    advances on producer edges, delivery on consumer edges, and when the
+    two ends sit in different clock domains every flit takes
+    ``sync_stages`` consumer edges through the synchronizer.
+
+    Activity contract: the link wakes on any upstream push or downstream
+    pop, and :meth:`is_idle` is true only when nothing is staged, in
+    flight, *or awaiting credit maturation* — credit bookkeeping advances
+    in :meth:`tick`, so the link must stay scheduled until every counter
+    is full again or the strict and activity kernels would disagree.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        upstreams: List[SimQueue],
+        downstreams: List[SimQueue],
+        flit_bits: int = 72,
+        phit_bits: int = 72,
+        pipeline_latency: int = 0,
+        producer_domain=None,
+        consumer_domain=None,
+        sync_stages: int = 2,
+        credit_return_latency: int = 1,
+    ) -> None:
+        super().__init__(name)
+        if len(upstreams) != len(downstreams) or not upstreams:
+            raise ValueError(f"{name}: need matching per-VC queue lists")
+        if pipeline_latency < 0:
+            raise ValueError("pipeline latency must be >= 0")
+        if sync_stages < 1:
+            raise ValueError("sync_stages must be >= 1")
+        self.vcs = len(upstreams)
+        self.upstreams = list(upstreams)
+        self.downstreams = list(downstreams)
+        self.flit_bits = flit_bits
+        self.phit_bits = phit_bits
+        self.pipeline_latency = pipeline_latency
+        self.producer_domain = producer_domain
+        self.consumer_domain = consumer_domain
+        self.sync_stages = sync_stages
+        self.crosses_domains = domains_cross(producer_domain, consumer_domain)
+        self.serialization = phits_per_flit(flit_bits, phit_bits)
+        self.credits: List[CreditCounter] = []
+        for vc, queue in enumerate(self.downstreams):
+            if queue.capacity is None:
+                raise ValueError(
+                    f"{name}: VC {vc} delivery queue must be bounded "
+                    f"(credits track its depth)"
+                )
+            self.credits.append(
+                CreditCounter(queue.capacity, credit_return_latency)
+            )
+        self._shifting: Optional[Tuple[int, Flit, int]] = None  # (vc, flit, left)
+        self._pipe: Deque[Tuple[int, int, Flit]] = deque()  # (ready, vc, flit)
+        self._crossing: Deque[List] = deque()  # [edges left, vc, flit]
+        self._in_flight_vc = [0] * self.vcs
+        self._next_vc = 0
+        self.flits_carried = 0
+        self.phits_carried = 0
+        self.flits_per_vc = [0] * self.vcs
+        for queue in self.upstreams:
+            queue.wake_on_push(self)
+        for queue in self.downstreams:
+            queue.wake_on_pop(self)
+
+    # ------------------------------------------------------------------ #
+    # activity protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def in_flight(self) -> int:
+        """Flits somewhere inside the link (not counting upstream)."""
+        return (
+            (1 if self._shifting is not None else 0)
+            + len(self._pipe)
+            + len(self._crossing)
+        )
+
+    def is_idle(self) -> bool:
+        if self.in_flight or any(self.upstreams):
+            return False
+        # Credits still travelling back (or held by occupied downstream
+        # buffers) evolve inside tick; sleep only once every counter is
+        # whole again.
+        return all(c.available == c.capacity for c in self.credits)
+
+    def idle(self) -> bool:
+        """No flit on the wires or in the synchronizer (drain check)."""
+        return self.in_flight == 0
+
+    # ------------------------------------------------------------------ #
+    # the cycle
+    # ------------------------------------------------------------------ #
+    def _deliver(self, vc: int, flit: Flit) -> None:
+        # A held credit guarantees the downstream buffer has room.
+        self.downstreams[vc].push(flit)
+        self._in_flight_vc[vc] -= 1
+        self.flits_carried += 1
+        self.flits_per_vc[vc] += 1
+
+    def tick(self, cycle: int) -> None:
+        producer = self.producer_domain
+        consumer = self.consumer_domain
+        on_consumer = consumer is None or consumer.active(cycle)
+
+        if on_consumer:
+            if self.crosses_domains:
+                if self._crossing:
+                    for entry in self._crossing:
+                        entry[0] -= 1
+                    while self._crossing and self._crossing[0][0] <= 0:
+                        __, vc, flit = self._crossing.popleft()
+                        self._deliver(vc, flit)
+                while self._pipe and self._pipe[0][0] <= cycle:
+                    __, vc, flit = self._pipe.popleft()
+                    self._crossing.append([self.sync_stages, vc, flit])
+            else:
+                while self._pipe and self._pipe[0][0] <= cycle:
+                    __, vc, flit = self._pipe.popleft()
+                    self._deliver(vc, flit)
+
+        if producer is not None and not producer.active(cycle):
+            return
+
+        # Sender-side credit loop: mature in-flight returns, then return
+        # credits for flits the downstream consumer has drained since the
+        # last producer edge.  Credits already travelling back
+        # (in_return_loop) still count as outstanding, so subtract them
+        # or every pre-maturation edge would re-return the same credit.
+        for vc, credit in enumerate(self.credits):
+            credit.advance()
+            held = self._in_flight_vc[vc] + self.downstreams[vc].occupancy
+            freed = credit.outstanding - credit.in_return_loop - held
+            if freed > 0:
+                credit.give_back(freed)
+
+        # Shift phits of the flit currently on the wires.
+        if self._shifting is not None:
+            vc, flit, remaining = self._shifting
+            remaining -= 1
+            self.phits_carried += 1
+            if remaining == 0:
+                # +1: the last phit lands this cycle, the flit is whole at
+                # the far end next cycle, plus any pipeline stages.
+                self._pipe.append((cycle + 1 + self.pipeline_latency, vc, flit))
+                self._shifting = None
+            else:
+                self._shifting = (vc, flit, remaining)
+            return
+
+        # Start serializing the next flit: round-robin over VCs with a
+        # flit staged and a credit in hand, so one blocked VC never
+        # claims the wires.
+        for offset in range(self.vcs):
+            vc = (self._next_vc + offset) % self.vcs
+            if self.upstreams[vc] and self.credits[vc].can_send():
+                flit = self.upstreams[vc].pop()
+                self.credits[vc].consume()
+                self._in_flight_vc[vc] += 1
+                self._shifting = (vc, flit, self.serialization)
+                self._next_vc = (vc + 1) % self.vcs
+                return
 
     @property
     def bandwidth_bits_per_cycle(self) -> float:

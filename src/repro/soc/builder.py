@@ -158,6 +158,18 @@ class SocBuilder:
       side of every link) run in; ``None`` = kernel reference clock.
       Endpoints whose region differs from the fabric's domain get CDC
       synchronizers folded into their links automatically.
+
+    Transport-layer VC knobs (defaults are the single-VC fabric,
+    cycle-identical to a build that never mentions them):
+
+    - ``vcs`` — virtual channels per link (per plane);
+    - ``vc_policy`` — a :class:`~repro.transport.routing.VcPolicy`
+      instance or name (``"keep"``, ``"priority"``, ``"dateline"``);
+      the dateline policy plus ``routing="dor"`` makes ring/torus
+      wormhole fabrics deadlock-free with 2 VCs;
+    - ``vc_separation`` — carry requests and responses on disjoint VC
+      classes of a *single* plane instead of two independent planes
+      (``vcs`` must be even).
     """
 
     _LINK_CLASSES = ("router", "endpoint")
@@ -177,6 +189,9 @@ class SocBuilder:
         links: Optional[Union[LinkSpec, Dict[str, LinkSpec]]] = None,
         clock_domains: Optional[Dict[str, object]] = None,
         fabric_region: Optional[str] = None,
+        vcs: int = 1,
+        vc_policy=None,
+        vc_separation: bool = False,
     ) -> None:
         self.name = name
         self.mode = mode
@@ -195,6 +210,9 @@ class SocBuilder:
         self.links = links
         self.clock_domains = clock_domains
         self.fabric_region = fabric_region
+        self.vcs = vcs
+        self.vc_policy = vc_policy
+        self.vc_separation = vc_separation
         self.initiators: List[InitiatorSpec] = []
         self.targets: List[TargetSpec] = []
 
@@ -346,6 +364,9 @@ class SocBuilder:
             endpoint_link_spec=link_specs["endpoint"],
             fabric_domain=fabric_domain,
             endpoint_domains=endpoint_domains,
+            vcs=self.vcs,
+            vc_policy=self.vc_policy,
+            vc_separation=self.vc_separation,
         )
         address_map = self._build_address_map()
 

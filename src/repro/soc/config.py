@@ -17,13 +17,21 @@ from typing import Dict, Optional
 from repro.niu.tag_policy import TagPolicy
 from repro.phys.clocking import ClockDomain
 from repro.phys.link import LinkSpec
+from repro.transport.routing import (
+    DatelineVcPolicy,
+    PriorityVcPolicy,
+    VcPolicy,
+)
 
 __all__ = [
     "ClockDomain",
+    "DatelineVcPolicy",
     "InitiatorSpec",
     "KNOWN_PROTOCOLS",
     "LinkSpec",
+    "PriorityVcPolicy",
     "TargetSpec",
+    "VcPolicy",
 ]
 
 #: Socket families the builder knows how to instantiate.

@@ -21,7 +21,14 @@ _flit_packet_ids = itertools.count()
 
 @dataclass
 class Flit:
-    """One flit.  ``packet`` is carried on the head flit only."""
+    """One flit.  ``packet`` is carried on the head flit only.
+
+    ``vc`` is the virtual channel the flit currently travels on — assigned
+    per packet at injection (default 0, or by a pluggable VC-selection
+    policy) and retagged hop by hop when a router's VC-allocation stage
+    moves the packet to a different output VC (e.g. the dateline policy
+    on rings/tori).  Single-VC fabrics leave it at 0 throughout.
+    """
 
     packet_id: int
     seq: int
@@ -31,6 +38,7 @@ class Flit:
     priority: int
     lock_related: bool
     packet: Optional[NocPacket] = None
+    vc: int = 0
 
     @property
     def is_head(self) -> bool:
@@ -44,7 +52,7 @@ class Flit:
         marks = ("H" if self.is_head else "") + ("T" if self.is_tail else "")
         return (
             f"<Flit p{self.packet_id}.{self.seq}/{self.count}{marks} "
-            f"dest={self.dest} prio={self.priority}>"
+            f"dest={self.dest} prio={self.priority} vc={self.vc}>"
         )
 
 
@@ -95,7 +103,7 @@ class Packetizer:
         layer serializes into phits."""
         return self._header_bits + self.flit_payload_bits
 
-    def segment(self, packet: NocPacket) -> List[Flit]:
+    def segment(self, packet: NocPacket, vc: int = 0) -> List[Flit]:
         if self.packet_format is not None:
             packet.validate_against(self.packet_format)
         count = flits_for_packet(
@@ -114,6 +122,7 @@ class Packetizer:
                     priority=packet.priority,
                     lock_related=packet.is_lock_related,
                     packet=packet if seq == 0 else None,
+                    vc=vc,
                 )
             )
         return flits

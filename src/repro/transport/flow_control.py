@@ -80,6 +80,11 @@ class CreditCounter:
         """Credits currently held by the sender or in the return loop."""
         return self.capacity - self._available
 
+    @property
+    def in_return_loop(self) -> int:
+        """Credits given back but not yet matured (still in flight)."""
+        return sum(count for _due, count in self._in_flight)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<CreditCounter {self._available}/{self.capacity} "

@@ -1,22 +1,27 @@
 """Network assembly: routers + links + injection/ejection ports.
 
 A :class:`Network` is one routing plane.  A :class:`Fabric` is what NIUs
-actually attach to: two independent planes — one for requests, one for
-responses — the standard construction that removes request/response
-protocol deadlock without virtual channels.
+actually attach to: by default two independent planes — one for
+requests, one for responses — the standard construction that removes
+request/response protocol deadlock without virtual channels.  With
+``vc_separation=True`` the fabric instead builds **one** plane and puts
+requests and responses on disjoint virtual-channel classes — half the
+links for the same deadlock guarantee, the VC-era construction.
 
 Every connection — inter-router and NIU↔router — is built through a
 :class:`~repro.phys.link.LinkSpec`.  The default spec (full width, no
 pipeline stages, both ends in the same clock domain) wires the connection
-as one raw shared :class:`~repro.sim.queue.SimQueue`, exactly as a fabric
-with no physical layer: zero extra components, cycle-identical.  Anything
-else (narrow phits, wire pipelining, or a clock-domain boundary between
-an endpoint's region and the fabric domain) instantiates a
-:class:`~repro.phys.link.PhysicalLink` between two staging queues, with
-the CDC synchronizer folded into the link when the domains differ —
-per-link timing is part of the fabric, not a bolt-on.
+as one raw shared :class:`~repro.sim.queue.SimQueue` per virtual channel,
+exactly as a fabric with no physical layer: zero extra components,
+cycle-identical.  Anything else (narrow phits, wire pipelining, or a
+clock-domain boundary between an endpoint's region and the fabric
+domain) instantiates a link component between staging queues: a
+:class:`~repro.phys.link.PhysicalLink` for single-VC planes, or a
+:class:`~repro.phys.link.VcPhysicalLink` that time-multiplexes all VCs
+of the connection over one physical channel with per-VC credit
+accounting — per-link timing is part of the fabric, not a bolt-on.
 
-NIU-facing API (all packet granularity; flits are internal):
+NIU-facing API (all packet granularity; flits and VCs are internal):
 
 - ``fabric.can_inject_request(ep)`` / ``fabric.inject_request(ep, pkt)``
 - ``fabric.requests(ep)`` — :class:`SimQueue` of request packets arriving
@@ -26,10 +31,10 @@ NIU-facing API (all packet granularity; flits are internal):
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple, Union
 
-from repro.core.packet import NocPacket, PacketFormat
-from repro.phys.link import LinkSpec, PhysicalLink, domains_cross
+from repro.core.packet import NocPacket, PacketFormat, PacketKind
+from repro.phys.link import LinkSpec, PhysicalLink, VcPhysicalLink, domains_cross
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator
 from repro.sim.queue import SimQueue
@@ -37,17 +42,68 @@ from repro.transport.flit import Flit, Packetizer, Reassembler, flits_for_packet
 from repro.transport.qos import Arbiter, make_arbiter
 from repro.transport.router import Router
 from repro.transport.routing import (
-    compute_routing_tables,
-    compute_xy_tables,
+    VcPolicy,
+    compute_tables,
+    make_vc_policy,
     port_local,
     port_to,
 )
 from repro.transport.switching import SwitchingMode
-from repro.transport.topology import Topology
+from repro.transport.topology import Topology, router_sort_key
+
+
+class BufferSizingError(ValueError):
+    """A buffer/link capacity cannot satisfy the switching mode.
+
+    Raised at build time (a link spec stages fewer flits than the
+    switching mode can be asked to forward — the configuration would
+    wedge silently mid-run) and at injection (a packet longer than the
+    router input buffers admit under store-and-forward / cut-through).
+    """
+
+
+class KindVcPolicy(VcPolicy):
+    """Request/response separation on disjoint VC classes.
+
+    Wraps an inner policy: requests ride VCs ``0 .. vcs/2 - 1``,
+    responses ``vcs/2 .. vcs - 1``, and the inner policy (dateline,
+    priority, …) operates inside each half.  Responses can therefore
+    never be blocked behind requests on any buffer, which removes
+    request/response protocol deadlock on a *single* plane.
+    """
+
+    name = "kind-split"
+
+    def __init__(self, inner: Optional[VcPolicy] = None) -> None:
+        self.inner = inner if inner is not None else VcPolicy()
+        self.min_vcs = 2 * self.inner.min_vcs
+
+    def injection_vc(self, packet, vcs: int) -> int:
+        half = vcs // 2
+        base = 0 if packet.kind is PacketKind.REQUEST else half
+        return base + self.inner.injection_vc(packet, half)
+
+    def output_vc(self, router, prev_router, next_router, in_vc, vcs):
+        half = vcs // 2
+        base = half if in_vc >= half else 0
+        return base + self.inner.output_vc(
+            router, prev_router, next_router, in_vc - base, half
+        )
 
 
 class InjectionPort(Component):
-    """Segments packets from a NIU into flits feeding the local router."""
+    """Segments packets from a NIU into flits feeding the local router.
+
+    With several VCs the port keeps one pending flit stream per VC (the
+    VC chosen per packet by the plane's :class:`VcPolicy`) and pushes at
+    most one flit per cycle, round-robin over the VCs with flits staged
+    and feed space — one physical channel, per-VC buffering.  A blocked
+    packet parks aside into its VC's pending stream, so the *next*
+    packet in the queue still reaches the fabric on its own VC; a
+    backlog of several blocked packets queues in arrival order (the
+    packet queue itself is a shared FIFO — per-VC injection queues are
+    an open item, see ROADMAP).
+    """
 
     def __init__(
         self,
@@ -55,68 +111,129 @@ class InjectionPort(Component):
         endpoint: int,
         packetizer: Packetizer,
         packet_queue: SimQueue,
-        flit_queue: SimQueue,
+        flit_queues: List[SimQueue],
+        vc_policy: Optional[VcPolicy] = None,
     ) -> None:
         super().__init__(name)
         self.endpoint = endpoint
         self.packetizer = packetizer
         self.packet_queue = packet_queue
-        self.flit_queue = flit_queue
-        self._pending: List[Flit] = []
+        self.flit_queues = list(flit_queues)
+        self.vcs = len(self.flit_queues)
+        self.vc_policy = vc_policy if vc_policy is not None else VcPolicy()
+        self._pending: List[List[Flit]] = [[] for _ in range(self.vcs)]
+        self._last_vc = self.vcs - 1
         self.packets_injected = 0
         self.flits_injected = 0
         packet_queue.wake_on_push(self)
-        flit_queue.wake_on_pop(self)
+        for queue in self.flit_queues:
+            queue.wake_on_pop(self)
+
+    @property
+    def flit_queue(self) -> SimQueue:
+        """The VC-0 feed (compatibility accessor for single-VC planes)."""
+        return self.flit_queues[0]
+
+    def pending_flits(self) -> int:
+        return sum(len(pending) for pending in self._pending)
 
     def is_idle(self) -> bool:
-        return not self._pending and not self.packet_queue
+        return not self.pending_flits() and not self.packet_queue
 
     def tick(self, cycle: int) -> None:
-        if not self._pending and self.packet_queue:
-            packet = self.packet_queue.pop()
-            packet.injected_cycle = cycle
-            self._pending = self.packetizer.segment(packet)
-            self.packets_injected += 1
-        if self._pending and self.flit_queue.can_push():
-            self.flit_queue.push(self._pending.pop(0))
-            self.flits_injected += 1
+        if self.packet_queue:
+            vc = self.vc_policy.injection_vc(self.packet_queue.peek(), self.vcs)
+            if not 0 <= vc < self.vcs:
+                raise ValueError(
+                    f"{self.name}: VC policy chose injection VC {vc} "
+                    f"outside 0..{self.vcs - 1}"
+                )
+            if not self._pending[vc]:
+                packet = self.packet_queue.pop()
+                packet.injected_cycle = cycle
+                self._pending[vc] = self.packetizer.segment(packet, vc=vc)
+                self.packets_injected += 1
+        # One flit per cycle onto the feed, round-robin over ready VCs.
+        for offset in range(1, self.vcs + 1):
+            vc = (self._last_vc + offset) % self.vcs
+            if self._pending[vc] and self.flit_queues[vc].can_push():
+                self.flit_queues[vc].push(self._pending[vc].pop(0))
+                self.flits_injected += 1
+                self._last_vc = vc
+                break
 
 
 class EjectionPort(Component):
-    """Reassembles flits arriving at an endpoint back into packets."""
+    """Reassembles flits arriving at an endpoint back into packets.
+
+    One reassembler per VC (each VC carries whole packets, never
+    interleaved), one flit accepted per cycle round-robin over the VCs.
+    ``packet_queues`` is either a single queue or, on a plane with
+    request/response VC separation, a ``{PacketKind: queue}`` mapping —
+    the completed packet is delivered by its kind.
+    """
 
     def __init__(
         self,
         name: str,
         endpoint: int,
-        flit_queue: SimQueue,
-        packet_queue: SimQueue,
+        flit_queues: List[SimQueue],
+        packet_queues: Union[SimQueue, Dict[PacketKind, SimQueue]],
     ) -> None:
         super().__init__(name)
         self.endpoint = endpoint
-        self.flit_queue = flit_queue
-        self.packet_queue = packet_queue
-        self.reassembler = Reassembler(name)
+        self.flit_queues = list(flit_queues)
+        self.vcs = len(self.flit_queues)
+        if isinstance(packet_queues, SimQueue):
+            self._packet_queues = {kind: packet_queues for kind in PacketKind}
+            self.packet_queue: Optional[SimQueue] = packet_queues
+        else:
+            self._packet_queues = dict(packet_queues)
+            self.packet_queue = None
+        self.reassemblers = [
+            Reassembler(name if self.vcs == 1 else f"{name}.vc{vc}")
+            for vc in range(self.vcs)
+        ]
+        self._last_vc = self.vcs - 1
         self.packets_ejected = 0
-        flit_queue.wake_on_push(self)
-        packet_queue.wake_on_pop(self)
+        for queue in self.flit_queues:
+            queue.wake_on_push(self)
+        for queue in self._packet_queues.values():
+            queue.wake_on_pop(self)
+
+    @property
+    def reassembler(self) -> Reassembler:
+        """VC-0 reassembler (compatibility accessor for single-VC planes)."""
+        return self.reassemblers[0]
+
+    def _queue_for(self, vc: int, flit: Flit) -> SimQueue:
+        head = self.reassemblers[vc]._current if not flit.is_head else flit
+        assert head is not None and head.packet is not None
+        return self._packet_queues[head.packet.kind]
 
     def is_idle(self) -> bool:
-        return not self.flit_queue
+        return not any(self.flit_queues)
 
     def tick(self, cycle: int) -> None:
-        # One flit per cycle; hold the tail until the packet queue has room
-        # so backpressure propagates into the fabric at packet granularity.
-        if not self.flit_queue:
+        # One flit per cycle; hold a tail until its packet queue has room
+        # so backpressure propagates into the fabric at packet granularity
+        # — per VC, so a full queue on one VC never stalls the others.
+        for offset in range(1, self.vcs + 1):
+            vc = (self._last_vc + offset) % self.vcs
+            queue = self.flit_queues[vc]
+            if not queue:
+                continue
+            flit = queue.peek()
+            out_queue = self._queue_for(vc, flit)
+            if flit.is_tail and not out_queue.can_push():
+                continue
+            queue.pop()
+            packet = self.reassemblers[vc].accept(flit)
+            if packet is not None:
+                out_queue.push(packet)
+                self.packets_ejected += 1
+            self._last_vc = vc
             return
-        flit = self.flit_queue.peek()
-        if flit.is_tail and not self.packet_queue.can_push():
-            return
-        self.flit_queue.pop()
-        packet = self.reassembler.accept(flit)
-        if packet is not None:
-            self.packet_queue.push(packet)
-            self.packets_ejected += 1
 
 
 class Network:
@@ -139,6 +256,9 @@ class Network:
         endpoint_link_spec: Optional[LinkSpec] = None,
         fabric_domain=None,
         endpoint_domains: Optional[Dict[int, object]] = None,
+        vcs: int = 1,
+        vc_policy=None,
+        split_ejection_by_kind: bool = False,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -153,15 +273,21 @@ class Network:
         )
         self.fabric_domain = fabric_domain
         self.endpoint_domains = dict(endpoint_domains or {})
-        self.links: List[PhysicalLink] = []
+        if vcs < 1:
+            raise ValueError(f"{name}: vcs must be >= 1, got {vcs}")
+        self.vcs = vcs
+        self.vc_policy = make_vc_policy(vc_policy)
+        if vcs < self.vc_policy.min_vcs:
+            raise ValueError(
+                f"{name}: VC policy {self.vc_policy.name!r} needs at least "
+                f"{self.vc_policy.min_vcs} VCs, got vcs={vcs}"
+            )
+        self.split_ejection_by_kind = split_ejection_by_kind
+        self.links: List[Union[PhysicalLink, VcPhysicalLink]] = []
         self._link_feed_queues: List[SimQueue] = []
+        self._validate_buffer_sizing()
 
-        if routing == "xy":
-            tables = compute_xy_tables(topology)
-        elif routing == "table":
-            tables = compute_routing_tables(topology)
-        else:
-            raise ValueError(f"unknown routing scheme {routing!r}")
+        tables = compute_tables(topology, routing)
 
         self.routers: Dict[Hashable, Router] = {}
         for router_id in topology.routers:
@@ -173,6 +299,8 @@ class Network:
                 buffer_capacity=buffer_capacity,
                 arbiter=make_arbiter(arbiter),
                 lock_support=lock_support,
+                vcs=vcs,
+                vc_policy=self.vc_policy,
             )
             if fabric_domain is not None:
                 router.set_clock_domain(fabric_domain)
@@ -181,23 +309,28 @@ class Network:
 
         # Inter-router links: router A's output "to:B" feeds router B's
         # input "in:A" (one link per direction, built per the link spec —
-        # a transparent spec degenerates to one shared queue).
-        for a, b in sorted(topology.graph.edges, key=str):
+        # a transparent spec degenerates to one shared queue per VC).
+        for a, b in sorted(topology.graph.edges, key=_edge_sort_key):
             for src, dst in ((a, b), (b, a)):
-                feed, delivery = self._build_link(
+                feeds, deliveries = self._build_link(
                     f"{name}.link.{src}->{dst}",
                     self.link_spec,
                     fabric_domain,
                     fabric_domain,
                 )
-                self.routers[src].add_output(port_to(dst), feed)
-                self.routers[dst].add_input(f"in:{src}", delivery)
+                for vc in range(self.vcs):
+                    self.routers[src].add_output(
+                        port_to(dst), feeds[vc], vc=vc, neighbor=dst
+                    )
+                    self.routers[dst].add_input(
+                        f"in:{src}", deliveries[vc], vc=vc, neighbor=src
+                    )
 
         # Endpoint attachment: injection + ejection per endpoint.  An
         # endpoint whose region differs from the fabric domain gets the
         # CDC folded into its links automatically.
         self._inject_queues: Dict[int, SimQueue] = {}
-        self._eject_queues: Dict[int, SimQueue] = {}
+        self._eject_queues: Dict[int, Union[SimQueue, Dict[PacketKind, SimQueue]]] = {}
         self.injection_ports: Dict[int, InjectionPort] = {}
         self.ejection_ports: Dict[int, EjectionPort] = {}
         for endpoint in topology.endpoints:
@@ -206,19 +339,23 @@ class Network:
             inj_packets = sim.new_queue(
                 f"{name}.inj.{endpoint}.pkts", capacity=endpoint_queue_capacity
             )
-            inj_feed, inj_delivery = self._build_link(
+            inj_feeds, inj_deliveries = self._build_link(
                 f"{name}.inj.{endpoint}.flits",
                 self.endpoint_link_spec,
                 ep_domain,
                 fabric_domain,
             )
-            router.add_input(f"inj:{endpoint}", inj_delivery)
+            for vc in range(self.vcs):
+                router.add_input(
+                    f"inj:{endpoint}", inj_deliveries[vc], vc=vc, order=endpoint
+                )
             port = InjectionPort(
                 f"{name}.inj.{endpoint}",
                 endpoint,
                 self.packetizer,
                 inj_packets,
-                inj_feed,
+                inj_feeds,
+                vc_policy=self.vc_policy,
             )
             if ep_domain is not None:
                 port.set_clock_domain(ep_domain)
@@ -226,18 +363,34 @@ class Network:
             self._inject_queues[endpoint] = inj_packets
             self.injection_ports[endpoint] = port
 
-            ej_feed, ej_delivery = self._build_link(
+            ej_feeds, ej_deliveries = self._build_link(
                 f"{name}.ej.{endpoint}.flits",
                 self.endpoint_link_spec,
                 fabric_domain,
                 ep_domain,
             )
-            router.add_output(port_local(endpoint), ej_feed)
-            ej_packets = sim.new_queue(
-                f"{name}.ej.{endpoint}.pkts", capacity=endpoint_queue_capacity
-            )
+            for vc in range(self.vcs):
+                router.add_output(
+                    port_local(endpoint), ej_feeds[vc], vc=vc, order=endpoint
+                )
+            ej_packets: Union[SimQueue, Dict[PacketKind, SimQueue]]
+            if split_ejection_by_kind:
+                ej_packets = {
+                    PacketKind.REQUEST: sim.new_queue(
+                        f"{name}.ej.{endpoint}.pkts.req",
+                        capacity=endpoint_queue_capacity,
+                    ),
+                    PacketKind.RESPONSE: sim.new_queue(
+                        f"{name}.ej.{endpoint}.pkts.rsp",
+                        capacity=endpoint_queue_capacity,
+                    ),
+                }
+            else:
+                ej_packets = sim.new_queue(
+                    f"{name}.ej.{endpoint}.pkts", capacity=endpoint_queue_capacity
+                )
             eport = EjectionPort(
-                f"{name}.ej.{endpoint}", endpoint, ej_delivery, ej_packets
+                f"{name}.ej.{endpoint}", endpoint, ej_deliveries, ej_packets
             )
             if ep_domain is not None:
                 eport.set_clock_domain(ep_domain)
@@ -246,44 +399,110 @@ class Network:
             self.ejection_ports[endpoint] = eport
 
     # ------------------------------------------------------------------ #
+    # build-time validation
+    # ------------------------------------------------------------------ #
+    def _validate_buffer_sizing(self) -> None:
+        """Reject configurations that would wedge silently mid-run.
+
+        :meth:`inject` admits packets of up to ``buffer_capacity`` flits
+        under store-and-forward / cut-through (the router input buffer
+        depth), so every flit queue on the datapath — including the
+        staging buffers of non-transparent links — must hold at least
+        :meth:`SwitchingMode.min_buffer_for` of that many flits, or a
+        legally injected packet's head can wait forever for downstream
+        space that cannot exist.
+        """
+        if self.mode is SwitchingMode.WORMHOLE:
+            return
+        minimum = self.mode.min_buffer_for(self.buffer_capacity)
+        # A spec with no serialization/pipelining is still wired as a
+        # real (capacity-limited) link when the connection crosses clock
+        # domains, so judge transparency the way _build_link will.
+        endpoint_crossing = any(
+            domains_cross(self.endpoint_domains.get(ep), self.fabric_domain)
+            for ep in self.topology.endpoints
+        )
+        for cls, spec, crosses in (
+            ("router", self.link_spec, False),
+            ("endpoint", self.endpoint_link_spec, endpoint_crossing),
+        ):
+            capacity = (
+                self.buffer_capacity
+                if spec.transparent(crosses)
+                else (spec.capacity or self.buffer_capacity)
+            )
+            if capacity < minimum:
+                raise BufferSizingError(
+                    f"{self.name}: {cls} links stage only {capacity} flits "
+                    f"but {self.mode} switching admits packets up to "
+                    f"{self.buffer_capacity} flits (router input buffer "
+                    f"depth), which need min_buffer_for = {minimum}; a "
+                    f"long packet would wedge at every router of "
+                    f"{self.topology.name!r} — raise LinkSpec.capacity to "
+                    f">= {minimum} or lower buffer_capacity"
+                )
+
+    # ------------------------------------------------------------------ #
     # physical-layer wiring
     # ------------------------------------------------------------------ #
     def _build_link(
         self, qname: str, spec: LinkSpec, producer_domain, consumer_domain
-    ) -> Tuple[SimQueue, SimQueue]:
+    ) -> Tuple[List[SimQueue], List[SimQueue]]:
         """Build one directed connection per ``spec``.
 
-        Returns ``(feed, delivery)``: the producer pushes into ``feed``
-        and the consumer pops from ``delivery``.  A transparent spec
-        (ideal wire, same domain at both ends) returns one shared queue
-        under the historical link name — byte-identical wiring to a
-        fabric without a physical layer.  Otherwise a
-        :class:`PhysicalLink` (serialization, pipeline, CDC when the
-        domains differ) is instantiated between two staging queues.
+        Returns ``(feeds, deliveries)``, one queue per VC: the producer
+        pushes into ``feeds[vc]`` and the consumer pops from
+        ``deliveries[vc]``.  A transparent spec (ideal wire, same domain
+        at both ends) returns shared queues under the historical link
+        name (suffixed ``.vc<N>`` beyond VC 0) — byte-identical wiring
+        to a fabric without a physical layer.  Otherwise a link
+        component (serialization, pipeline, CDC when the domains differ)
+        is instantiated between per-VC staging queues: a
+        :class:`PhysicalLink` when the plane has one VC, a
+        :class:`VcPhysicalLink` time-multiplexing all VCs over one
+        physical channel with per-VC credit accounting otherwise.
         """
+        vcs = self.vcs
+        names = [qname if vc == 0 else f"{qname}.vc{vc}" for vc in range(vcs)]
         crosses = domains_cross(producer_domain, consumer_domain)
         if spec.transparent(crosses):
-            queue = self.sim.new_queue(qname, capacity=self.buffer_capacity)
-            return queue, queue
+            queues = [
+                self.sim.new_queue(n, capacity=self.buffer_capacity)
+                for n in names
+            ]
+            return queues, queues
         capacity = spec.capacity or self.buffer_capacity
-        feed = self.sim.new_queue(f"{qname}.tx", capacity=capacity)
-        delivery = self.sim.new_queue(qname, capacity=capacity)
+        feeds = [self.sim.new_queue(f"{n}.tx", capacity=capacity) for n in names]
+        deliveries = [self.sim.new_queue(n, capacity=capacity) for n in names]
         flit_bits = self.packetizer.flit_bits
-        link = PhysicalLink(
-            f"{qname}.phy",
-            feed,
-            delivery,
-            flit_bits=flit_bits,
-            phit_bits=spec.phit_bits or flit_bits,
-            pipeline_latency=spec.pipeline_latency,
-            producer_domain=producer_domain,
-            consumer_domain=consumer_domain,
-            sync_stages=spec.sync_stages,
-        )
+        if vcs == 1:
+            link: Union[PhysicalLink, VcPhysicalLink] = PhysicalLink(
+                f"{qname}.phy",
+                feeds[0],
+                deliveries[0],
+                flit_bits=flit_bits,
+                phit_bits=spec.phit_bits or flit_bits,
+                pipeline_latency=spec.pipeline_latency,
+                producer_domain=producer_domain,
+                consumer_domain=consumer_domain,
+                sync_stages=spec.sync_stages,
+            )
+        else:
+            link = VcPhysicalLink(
+                f"{qname}.phy",
+                feeds,
+                deliveries,
+                flit_bits=flit_bits,
+                phit_bits=spec.phit_bits or flit_bits,
+                pipeline_latency=spec.pipeline_latency,
+                producer_domain=producer_domain,
+                consumer_domain=consumer_domain,
+                sync_stages=spec.sync_stages,
+            )
         self.sim.add(link)
         self.links.append(link)
-        self._link_feed_queues.append(feed)
-        return feed, delivery
+        self._link_feed_queues.extend(feeds)
+        return feeds, deliveries
 
     # ------------------------------------------------------------------ #
     # NIU-facing API
@@ -298,14 +517,33 @@ class Network:
             header_bits=self.packetizer._header_bits,
         )
         if self.mode is not SwitchingMode.WORMHOLE and flits > self.buffer_capacity:
-            raise ValueError(
-                f"{self.name}: packet of {flits} flits exceeds buffer "
-                f"capacity {self.buffer_capacity} under {self.mode} switching"
+            raise BufferSizingError(
+                f"{self.name}: packet of {flits} flits needs buffers of "
+                f"min_buffer_for = {self.mode.min_buffer_for(flits)} flits "
+                f"under {self.mode} switching, but router "
+                f"{self.topology.router_of(endpoint)!r} (and every other) "
+                f"has buffer_capacity {self.buffer_capacity}"
             )
         self._inject_queues[endpoint].push(packet)
 
-    def ejected(self, endpoint: int) -> SimQueue:
-        return self._eject_queues[endpoint]
+    def ejected(
+        self, endpoint: int, kind: Optional[PacketKind] = None
+    ) -> SimQueue:
+        queues = self._eject_queues[endpoint]
+        if isinstance(queues, SimQueue):
+            return queues
+        if kind is None:
+            raise ValueError(
+                f"{self.name}: plane separates ejection by packet kind; "
+                f"pass kind= to ejected()"
+            )
+        return queues[kind]
+
+    def _eject_queue_list(self, endpoint: int) -> List[SimQueue]:
+        queues = self._eject_queues[endpoint]
+        if isinstance(queues, SimQueue):
+            return [queues]
+        return list(queues.values())
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -323,14 +561,19 @@ class Network:
                 if queue.occupancy:
                     return False
         for port in self.injection_ports.values():
-            if port._pending or port.packet_queue.occupancy:
+            if port.pending_flits() or port.packet_queue.occupancy:
                 return False
-        for queue in self._eject_queues.values():
-            if queue.occupancy:
-                return False
+        for endpoint in self._eject_queues:
+            for queue in self._eject_queue_list(endpoint):
+                if queue.occupancy:
+                    return False
         for eport in self.ejection_ports.values():
-            if eport.flit_queue.occupancy or eport.reassembler.mid_packet:
-                return False
+            for queue in eport.flit_queues:
+                if queue.occupancy:
+                    return False
+            for reassembler in eport.reassemblers:
+                if reassembler.mid_packet:
+                    return False
         # Physical links: flits may be staged on the feed side (a router
         # output that is no longer any router's input) or in flight on
         # the wires / in a synchronizer.
@@ -348,17 +591,26 @@ class Network:
         busy = sum(
             sum(r.output_busy_cycles.values()) for r in self.routers.values()
         )
-        ports = sum(len(r.outputs) for r in self.routers.values())
+        ports = sum(len(r.output_busy_cycles) for r in self.routers.values())
         return busy / (cycles * ports) if ports else 0.0
 
 
+def _edge_sort_key(edge) -> tuple:
+    return (router_sort_key(edge[0]), router_sort_key(edge[1]))
+
+
 class Fabric:
-    """Two independent planes: requests and responses.
+    """Request/response planes, dual-network or VC-separated.
 
     This is the object NIUs bind to.  It also exposes the transaction-
     layer packet format in force, because the paper's configuration flow
     derives the format from the attached sockets and hands it to every
     NIU.
+
+    ``vcs``/``vc_policy`` configure virtual channels per plane.  With
+    ``vc_separation=True`` a single plane carries both directions on
+    disjoint VC classes (``vcs`` must be even; the inner policy operates
+    within each half) — the NIU-facing API is unchanged.
     """
 
     def __init__(
@@ -377,6 +629,9 @@ class Fabric:
         endpoint_link_spec: Optional[LinkSpec] = None,
         fabric_domain=None,
         endpoint_domains: Optional[Dict[int, object]] = None,
+        vcs: int = 1,
+        vc_policy=None,
+        vc_separation: bool = False,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -384,6 +639,9 @@ class Fabric:
         self.packet_format = packet_format
         self.fabric_domain = fabric_domain
         self.endpoint_domains = dict(endpoint_domains or {})
+        self.vcs = vcs
+        self.vc_separation = vc_separation
+        policy = make_vc_policy(vc_policy)
         common = dict(
             mode=mode,
             flit_payload_bits=flit_payload_bits,
@@ -396,9 +654,33 @@ class Fabric:
             endpoint_link_spec=endpoint_link_spec,
             fabric_domain=fabric_domain,
             endpoint_domains=endpoint_domains,
+            vcs=vcs,
         )
-        self.request_plane = Network(sim, topology, name=f"{name}.req", **common)
-        self.response_plane = Network(sim, topology, name=f"{name}.rsp", **common)
+        if vc_separation:
+            if vcs < 2 or vcs % 2:
+                raise ValueError(
+                    f"{name}: vc_separation needs an even vcs >= 2 "
+                    f"(half per direction), got vcs={vcs}"
+                )
+            shared = Network(
+                sim,
+                topology,
+                name=f"{name}.shr",
+                vc_policy=KindVcPolicy(policy),
+                split_ejection_by_kind=True,
+                **common,
+            )
+            self.request_plane = shared
+            self.response_plane = shared
+            self._planes = [shared]
+        else:
+            self.request_plane = Network(
+                sim, topology, name=f"{name}.req", vc_policy=policy, **common
+            )
+            self.response_plane = Network(
+                sim, topology, name=f"{name}.rsp", vc_policy=policy, **common
+            )
+            self._planes = [self.request_plane, self.response_plane]
 
     # request direction (initiator -> target)
     def can_inject_request(self, endpoint: int) -> bool:
@@ -409,6 +691,8 @@ class Fabric:
 
     def requests(self, endpoint: int) -> SimQueue:
         """Request packets delivered to target endpoint ``endpoint``."""
+        if self.vc_separation:
+            return self.request_plane.ejected(endpoint, PacketKind.REQUEST)
         return self.request_plane.ejected(endpoint)
 
     # response direction (target -> initiator)
@@ -420,27 +704,26 @@ class Fabric:
 
     def responses(self, endpoint: int) -> SimQueue:
         """Response packets delivered to initiator endpoint ``endpoint``."""
+        if self.vc_separation:
+            return self.response_plane.ejected(endpoint, PacketKind.RESPONSE)
         return self.response_plane.ejected(endpoint)
 
     def idle(self) -> bool:
-        return self.request_plane.idle() and self.response_plane.idle()
+        return all(plane.idle() for plane in self._planes)
 
     @property
-    def physical_links(self) -> List[PhysicalLink]:
-        """Every non-transparent link across both planes (introspection)."""
-        return self.request_plane.links + self.response_plane.links
+    def physical_links(self) -> List[Union[PhysicalLink, VcPhysicalLink]]:
+        """Every non-transparent link across all planes (introspection)."""
+        links: List[Union[PhysicalLink, VcPhysicalLink]] = []
+        for plane in self._planes:
+            links.extend(plane.links)
+        return links
 
     def total_phits_carried(self) -> int:
         return sum(link.phits_carried for link in self.physical_links)
 
     def total_flits_forwarded(self) -> int:
-        return (
-            self.request_plane.total_flits_forwarded()
-            + self.response_plane.total_flits_forwarded()
-        )
+        return sum(plane.total_flits_forwarded() for plane in self._planes)
 
     def total_lock_stall_cycles(self) -> int:
-        return (
-            self.request_plane.total_lock_stall_cycles()
-            + self.response_plane.total_lock_stall_cycles()
-        )
+        return sum(plane.total_lock_stall_cycles() for plane in self._planes)

@@ -10,7 +10,7 @@ content — preserving layer separation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 
 @dataclass(frozen=True)
@@ -33,7 +33,8 @@ class Arbiter:
     name = "base"
 
     def __init__(self) -> None:
-        self._rr_last: Dict[str, Optional[str]] = {}
+        self._grant_seq = 0
+        self._grants: Dict[tuple, int] = {}  # (output, port) -> grant seq
 
     def pick(self, output: str, candidates: Sequence[Candidate]) -> Candidate:
         raise NotImplementedError
@@ -44,17 +45,27 @@ class Arbiter:
     def _round_robin(
         self, output: str, candidates: Sequence[Candidate]
     ) -> Candidate:
-        ordered = sorted(candidates, key=lambda c: c.port)
-        last = self._rr_last.get(output)
-        if last is not None:
-            after = [c for c in ordered if c.port > last]
-            if after:
-                winner = after[0]
-            else:
-                winner = ordered[0]
-        else:
-            winner = ordered[0]
-        self._rr_last[output] = winner.port
+        """Least-recently-granted rotation, per output port.
+
+        :class:`PriorityArbiter`/:class:`AgeArbiter` delegate here with a
+        *filtered subset* of the contenders (the priority/age winners),
+        so the rotation state must stay fair across varying candidate
+        sets.  The old pointer scheme ("first port after the last
+        winner") could starve a port forever when contests alternated
+        between subsets on either side of it; granting the candidate
+        whose last win is oldest (never-granted first, earliest list
+        position as the tie-break — callers build candidate lists in
+        canonical port order, so ties never fall back to lexicographic
+        port-string comparison) serves every persistent contender within
+        one full rotation regardless of how the subsets are sliced.
+        """
+        grants = self._grants
+        __, winner = min(
+            enumerate(candidates),
+            key=lambda item: (grants.get((output, item[1].port), -1), item[0]),
+        )
+        self._grant_seq += 1
+        grants[(output, winner.port)] = self._grant_seq
         return winner
 
 

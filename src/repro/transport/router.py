@@ -4,31 +4,44 @@ The router is deliberately *transaction-unaware*: per the paper, it reads
 only the head-flit routing fields (destination, source, priority, the
 LOCK marker) and moves opaque flits.  Micro-architecture:
 
-- one FIFO buffer per input port (upstream routers / injection ports push
-  into it — the staged queue gives one cycle per hop).  Ports are wired
-  by :class:`~repro.transport.network.Network` through link objects: on
-  an ideal same-domain link the output queue *is* the downstream
-  router's input buffer, while a serialized/piped/CDC link interposes a
-  :class:`~repro.phys.link.PhysicalLink` whose feed queue the router
-  sees as its output — backpressure and switching-mode gates then apply
-  to the link's staging buffer, which is exactly the wire-side FIFO a
-  narrow link would have in hardware;
+- one FIFO buffer per input port **per virtual channel** (upstream
+  routers / injection ports push into it — the staged queue gives one
+  cycle per hop).  Ports are wired by
+  :class:`~repro.transport.network.Network` through link objects: on an
+  ideal same-domain link the output queue *is* the downstream router's
+  input buffer, while a serialized/piped/CDC link interposes a
+  :class:`~repro.phys.link.PhysicalLink` (or, with several VCs, a
+  :class:`~repro.phys.link.VcPhysicalLink` that time-multiplexes the VCs
+  over one physical channel) whose feed queues the router sees as its
+  outputs — backpressure and switching-mode gates then apply to the
+  link's staging buffers, which is exactly the wire-side FIFO a narrow
+  link would have in hardware;
+- a **VC-allocation stage** ahead of switch allocation (``vcs >= 2``): a
+  head flit at the front of an input VC first acquires a free output VC
+  (chosen by the plane's :class:`~repro.transport.routing.VcPolicy`) and
+  holds it until its tail passes — each output VC carries one packet at
+  a time, so per-VC streams never interleave;
 - per-output arbitration each cycle (policy pluggable, see
-  :mod:`repro.transport.qos`); one flit per output per cycle;
-- wormhole allocation: once a head flit wins an output, that output is
-  owned by the input until the tail flit passes (no virtual channels —
-  matching the simple switch the paper describes);
+  :mod:`repro.transport.qos`); one flit per *physical* output per cycle,
+  with one candidate per (input port, VC) — flits of different packets
+  interleave on the physical channel, which is what defeats
+  head-of-line blocking;
+- wormhole allocation: once a head flit wins an output VC, that VC is
+  owned by the input VC until the tail flit passes.  With ``vcs == 1``
+  (the default) this degenerates to the classic single-buffer wormhole
+  switch, cycle-identical to the pre-VC fabric;
 - switching-mode gate on head departure (wormhole / store-and-forward /
   virtual cut-through, see :mod:`repro.transport.switching`);
 - **LOCK handling** — the one transaction-family leak the paper concedes:
   after a ``LOCK``/``READEX`` request's tail passes an output port, the
   port admits only packets from the locking master until that master's
-  ``UNLOCK``/``STORE_COND_LOCKED`` tail passes.
+  ``UNLOCK``/``STORE_COND_LOCKED`` tail passes.  Locks are per physical
+  output port (they model a locked path, not a buffer).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.packet import PacketKind
 from repro.core.transaction import Opcode
@@ -36,10 +49,15 @@ from repro.sim.component import Component
 from repro.sim.queue import SimQueue
 from repro.transport.flit import Flit
 from repro.transport.qos import Arbiter, Candidate, PriorityArbiter
+from repro.transport.routing import VcPolicy
 from repro.transport.switching import SwitchingMode
+from repro.transport.topology import router_sort_key
 
 _LOCK_SETTERS = (Opcode.LOCK, Opcode.READEX)
 _LOCK_CLEARERS = (Opcode.UNLOCK, Opcode.STORE_COND_LOCKED)
+
+#: Key of one input (or output) virtual channel: ``(port name, vc)``.
+VcKey = Tuple[str, int]
 
 
 class Router(Component):
@@ -54,55 +72,131 @@ class Router(Component):
         buffer_capacity: int = 8,
         arbiter: Optional[Arbiter] = None,
         lock_support: bool = True,
+        vcs: int = 1,
+        vc_policy: Optional[VcPolicy] = None,
     ) -> None:
         super().__init__(name)
+        if vcs < 1:
+            raise ValueError(f"{name}: vcs must be >= 1, got {vcs}")
         self.router_id = router_id
         self.table = table
         self.mode = mode
         self.buffer_capacity = buffer_capacity
         self.arbiter = arbiter if arbiter is not None else PriorityArbiter()
         self.lock_support = lock_support
-        self.inputs: Dict[str, SimQueue] = {}
-        self.outputs: Dict[str, SimQueue] = {}
+        self.vcs = vcs
+        self.vc_policy = vc_policy if vc_policy is not None else VcPolicy()
+        # Buffers keyed by (port, vc); vc is always 0 when vcs == 1.
+        self.inputs: Dict[VcKey, SimQueue] = {}
+        self.outputs: Dict[VcKey, SimQueue] = {}
         # Hot-path port lists, presorted at wiring time so tick never
-        # calls sorted() (arbitration order is the sorted port name).
+        # calls sorted() (arbitration order is the sorted (port, vc) key).
         self._sorted_inputs: List[tuple] = []
         self._sorted_outputs: List[tuple] = []
-        # per-input state
-        self._input_alloc: Dict[str, Optional[str]] = {}
-        self._input_head: Dict[str, Optional[Flit]] = {}
-        self._input_age: Dict[str, int] = {}
-        # per-output state
-        self._output_owner: Dict[str, Optional[str]] = {}
+        self._physical_outputs: List[str] = []
+        # per-input-VC state
+        self._input_alloc: Dict[VcKey, Optional[VcKey]] = {}
+        self._input_head: Dict[VcKey, Optional[Flit]] = {}
+        self._input_age: Dict[VcKey, int] = {}
+        # per-output-VC / per-output state
+        self._output_owner: Dict[VcKey, Optional[VcKey]] = {}
         self._output_lock: Dict[str, Optional[int]] = {}
+        # neighbour geometry for the VC policy (None = endpoint port)
+        self._in_neighbor: Dict[str, Optional[Hashable]] = {}
+        self._out_neighbor: Dict[str, Optional[Hashable]] = {}
+        # arbitration candidate ids: with one VC the historical port name,
+        # otherwise "port@vc<N>" — one candidate per (input, VC)
+        self._ckey: Dict[VcKey, str] = {}
+        self._ckey_to_ivc: Dict[str, VcKey] = {}
+        # canonical iteration order per (port, vc) / per physical port
+        self._port_keys: Dict[VcKey, tuple] = {}
+        self._phys_out_keys: Dict[str, tuple] = {}
         # stats
         self.flits_forwarded = 0
         self.packets_forwarded = 0
+        #: Cycles in which at least one output was lock-stalled (counted
+        #: at most once per cycle; per-output detail below).
         self.lock_stall_cycles = 0
+        self.lock_stalls_by_output: Dict[str, int] = {}
         self.output_busy_cycles: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # wiring (Network calls these during construction)
     # ------------------------------------------------------------------ #
-    def add_input(self, port: str, queue: SimQueue) -> SimQueue:
-        if port in self.inputs:
-            raise ValueError(f"{self.name}: duplicate input port {port!r}")
-        self.inputs[port] = queue
-        self._input_alloc[port] = None
-        self._input_head[port] = None
-        self._input_age[port] = 0
-        self._sorted_inputs = sorted(self.inputs.items())
+    def _candidate_key(self, port: str, vc: int) -> str:
+        return port if self.vcs == 1 else f"{port}@vc{vc}"
+
+    def _port_order(self, port: str, ident: Optional[Hashable]) -> tuple:
+        """Canonical iteration/arbitration order for one port.
+
+        Ports group by their prefix (``in`` / ``inj`` / ``local`` /
+        ``to`` — the same grouping plain string sort gave) and order
+        *within* a group by the canonical router/endpoint key, so router
+        ``(1, 10)``'s ports no longer sort before ``(1, 2)``'s on
+        fabrics wider than 10 the way the raw port strings did.
+        """
+        prefix = port.split(":", 1)[0]
+        return (prefix, router_sort_key(ident if ident is not None else port))
+
+    def add_input(
+        self,
+        port: str,
+        queue: SimQueue,
+        vc: int = 0,
+        neighbor: Optional[Hashable] = None,
+        order: Optional[Hashable] = None,
+    ) -> SimQueue:
+        key = (port, vc)
+        if key in self.inputs:
+            raise ValueError(f"{self.name}: duplicate input port {key!r}")
+        if not 0 <= vc < self.vcs:
+            raise ValueError(f"{self.name}: input VC {vc} outside 0..{self.vcs - 1}")
+        self.inputs[key] = queue
+        self._input_alloc[key] = None
+        self._input_head[key] = None
+        self._input_age[key] = 0
+        self._in_neighbor[port] = neighbor
+        ckey = self._candidate_key(port, vc)
+        self._ckey[key] = ckey
+        self._ckey_to_ivc[ckey] = key
+        self._port_keys[key] = (
+            self._port_order(port, neighbor if order is None else order), vc
+        )
+        self._sorted_inputs = sorted(
+            self.inputs.items(), key=lambda item: self._port_keys[item[0]]
+        )
         queue.wake_on_push(self)
         return queue
 
-    def add_output(self, port: str, queue: SimQueue) -> SimQueue:
-        if port in self.outputs:
-            raise ValueError(f"{self.name}: duplicate output port {port!r}")
-        self.outputs[port] = queue
-        self._output_owner[port] = None
-        self._output_lock[port] = None
-        self.output_busy_cycles[port] = 0
-        self._sorted_outputs = sorted(self.outputs.items())
+    def add_output(
+        self,
+        port: str,
+        queue: SimQueue,
+        vc: int = 0,
+        neighbor: Optional[Hashable] = None,
+        order: Optional[Hashable] = None,
+    ) -> SimQueue:
+        key = (port, vc)
+        if key in self.outputs:
+            raise ValueError(f"{self.name}: duplicate output port {key!r}")
+        if not 0 <= vc < self.vcs:
+            raise ValueError(f"{self.name}: output VC {vc} outside 0..{self.vcs - 1}")
+        self.outputs[key] = queue
+        self._output_owner[key] = None
+        self._out_neighbor[port] = neighbor
+        port_order = self._port_order(port, neighbor if order is None else order)
+        if port not in self._output_lock:
+            self._output_lock[port] = None
+            self.output_busy_cycles[port] = 0
+            self.lock_stalls_by_output[port] = 0
+            self._phys_out_keys[port] = port_order
+            self._physical_outputs = sorted(
+                self._output_lock, key=self._phys_out_keys.__getitem__
+            )
+        self._port_keys[key] = (port_order, vc)
+        self._sorted_outputs = sorted(
+            self.outputs.items(), key=lambda item: self._port_keys[item[0]]
+        )
         queue.wake_on_pop(self)
         return queue
 
@@ -129,28 +223,42 @@ class Router(Component):
                 break
         return buffered
 
-    def _downstream_free(self, port: str) -> int:
-        queue = self.outputs[port]
+    def _downstream_free(self, okey: VcKey) -> int:
+        queue = self.outputs[okey]
         if queue.capacity is None:
             return 1 << 30
         return queue.capacity - queue.occupancy
 
-    def _lock_blocks(self, port: str, flit: Flit) -> bool:
-        holder = self._output_lock[port]
-        return holder is not None and holder != flit.src
+    def _output_vc_for(self, ivc: VcKey, out_port: str) -> int:
+        """Ask the VC policy for the output VC of a head flit on ``ivc``."""
+        in_port, in_vc = ivc
+        out_vc = self.vc_policy.output_vc(
+            self.router_id,
+            self._in_neighbor.get(in_port),
+            self._out_neighbor.get(out_port),
+            in_vc,
+            self.vcs,
+        )
+        if not 0 <= out_vc < self.vcs:
+            raise ValueError(
+                f"{self.name}: VC policy {self.vc_policy.name!r} chose VC "
+                f"{out_vc} outside 0..{self.vcs - 1} for {in_port}:{in_vc}"
+                f" -> {out_port}"
+            )
+        return out_vc
 
     # ------------------------------------------------------------------ #
     # the cycle
     # ------------------------------------------------------------------ #
     def is_idle(self) -> bool:
-        """Nothing buffered at any input: tick is provably a no-op.
+        """Nothing buffered at any input VC: tick is provably a no-op.
 
         Ages are already 0 for empty inputs (they reset the tick the
         queue empties), owned outputs cannot progress without flits, and
         lock state only changes when a tail flit passes — so an
         all-inputs-empty router can sleep until a link queue wakes it.
         """
-        for _port, queue in self._sorted_inputs:
+        for _key, queue in self._sorted_inputs:
             if queue._committed:
                 return False
         return True
@@ -159,11 +267,14 @@ class Router(Component):
         sorted_inputs = self._sorted_inputs
         # Early exit: quiescent router (see is_idle for why this is exact).
         busy = False
-        for _port, queue in sorted_inputs:
+        for _key, queue in sorted_inputs:
             if queue._committed:
                 busy = True
                 break
         if not busy:
+            return
+        if self.vcs > 1:
+            self._tick_vc(cycle)
             return
         input_alloc = self._input_alloc
         input_age = self._input_age
@@ -173,69 +284,71 @@ class Router(Component):
         # Phase A: what does each input want to do?  Heads that are ready
         # to depart are grouped per desired output so Phase B arbitration
         # touches only actual contenders instead of rescanning every input.
-        desires: Dict[str, str] = {}  # input -> output
-        heads: Dict[str, Flit] = {}
-        wants: Dict[str, List[str]] = {}  # output -> ready head inputs
-        for in_port, queue in sorted_inputs:
+        desires: Dict[VcKey, VcKey] = {}  # input vc -> output vc
+        heads: Dict[VcKey, Flit] = {}
+        wants: Dict[VcKey, List[VcKey]] = {}  # output -> ready head inputs
+        for ivc, queue in sorted_inputs:
             committed = queue._committed
             if not committed:
-                input_age[in_port] = 0
+                input_age[ivc] = 0
                 continue
             flit = committed[0]
-            alloc = input_alloc[in_port]
+            alloc = input_alloc[ivc]
             if alloc is not None:
                 # mid-packet: continue on the allocated output
-                desires[in_port] = alloc
+                desires[ivc] = alloc
                 continue
             if not flit.is_head:
                 raise RuntimeError(
-                    f"{self.name}:{in_port}: body flit {flit!r} at front "
+                    f"{self.name}:{ivc[0]}: body flit {flit!r} at front "
                     f"with no allocation (framing bug)"
                 )
-            out_port = self._route(flit.dest)
-            desires[in_port] = out_port
+            okey = (self._route(flit.dest), 0)
+            desires[ivc] = okey
             if wormhole:
                 # Wormhole heads depart whenever downstream has a slot —
                 # no need to count buffered flits of the front packet.
-                ready = outputs[out_port].can_push()
+                ready = outputs[okey].can_push()
             else:
                 ready = mode.head_may_depart(
                     flits_buffered=self._flits_of_front_packet(queue, flit),
                     packet_flits=flit.count,
-                    downstream_free=self._downstream_free(out_port),
+                    downstream_free=self._downstream_free(okey),
                 )
             if ready:
-                heads[in_port] = flit
-                if out_port in wants:
-                    wants[out_port].append(in_port)
+                heads[ivc] = flit
+                if okey in wants:
+                    wants[okey].append(ivc)
                 else:
-                    wants[out_port] = [in_port]
+                    wants[okey] = [ivc]
 
         # Phase B: per-output arbitration and transfer.
         output_owner = self._output_owner
         output_lock = self._output_lock
         lock_support = self.lock_support
-        sent_inputs: List[str] = []
-        for out_port, out_queue in self._sorted_outputs:
-            owner = output_owner[out_port]
+        sent_inputs: List[VcKey] = []
+        lock_stalled_any = False
+        for okey, out_queue in self._sorted_outputs:
+            owner = output_owner[okey]
             if owner is not None:
                 # Continue the in-flight packet; nobody else may interleave.
                 if (
-                    desires.get(owner) == out_port
-                    and input_alloc[owner] == out_port
+                    desires.get(owner) == okey
+                    and input_alloc[owner] == okey
                     and out_queue.can_push()
                 ):
-                    self._transfer(owner, out_port, cycle)
+                    self._transfer(owner, okey, cycle)
                     sent_inputs.append(owner)
                 continue
-            contenders = wants.get(out_port)
+            contenders = wants.get(okey)
             if contenders is None:
                 continue
+            out_port = okey[0]
             candidates: List[Candidate] = []
             lock_stalled = False
             holder = output_lock[out_port] if lock_support else None
-            for in_port in contenders:
-                flit = heads[in_port]
+            for ivc in contenders:
+                flit = heads[ivc]
                 if holder is not None and holder != flit.src:
                     lock_stalled = True
                     continue
@@ -243,50 +356,185 @@ class Router(Component):
                 urgency = packet.user.get("urgency", 0) if packet else 0
                 candidates.append(
                     Candidate(
-                        port=in_port,
+                        port=self._ckey[ivc],
                         priority=flit.priority,
-                        age=input_age[in_port],
+                        age=input_age[ivc],
                         urgency=urgency,
                     )
                 )
             if lock_stalled:
-                self.lock_stall_cycles += 1
+                lock_stalled_any = True
+                self.lock_stalls_by_output[out_port] += 1
             if not candidates or not out_queue.can_push():
                 continue
             winner = self.arbiter.pick(out_port, candidates)
-            self._transfer(winner.port, out_port, cycle)
-            sent_inputs.append(winner.port)
+            ivc = self._ckey_to_ivc[winner.port]
+            self._transfer(ivc, okey, cycle)
+            sent_inputs.append(ivc)
+        if lock_stalled_any:
+            # At most one stall cycle per cycle, however many outputs
+            # stalled (the per-output detail is in lock_stalls_by_output).
+            self.lock_stall_cycles += 1
 
         # Phase C: age heads that waited.
-        for in_port, queue in sorted_inputs:
-            if queue._committed and in_port not in sent_inputs:
-                input_age[in_port] += 1
+        for ivc, queue in sorted_inputs:
+            if queue._committed and ivc not in sent_inputs:
+                input_age[ivc] += 1
             else:
-                input_age[in_port] = 0
+                input_age[ivc] = 0
 
-    def _transfer(self, in_port: str, out_port: str, cycle: int) -> None:
-        flit = self.inputs[in_port].pop()
-        self.outputs[out_port].push(flit)
+    # ------------------------------------------------------------------ #
+    # the cycle, multi-VC flavour
+    # ------------------------------------------------------------------ #
+    def _tick_vc(self, cycle: int) -> None:
+        """VC allocation -> switch allocation -> transfer, for vcs >= 2.
+
+        Differences from the single-VC fast path: a head flit must win a
+        free *output VC* (held until its tail passes) before it can
+        compete for the physical channel, and switch allocation sees one
+        candidate per (input port, VC) — so flits of different packets
+        interleave on a physical output, one flit per cycle, which is
+        exactly what defeats head-of-line blocking.
+        """
+        sorted_inputs = self._sorted_inputs
+        input_alloc = self._input_alloc
+        input_head = self._input_head
+        input_age = self._input_age
+        output_owner = self._output_owner
+        output_lock = self._output_lock
+        lock_support = self.lock_support
+        mode = self.mode
+        wormhole = mode is SwitchingMode.WORMHOLE
+
+        # Phase V: VC allocation.  Head flits at the front of an input VC
+        # with no allocation try to acquire their output VC; grants go in
+        # sorted (port, vc) order, deterministically.  Lock admission
+        # happens *here*: a head from a non-holding master is refused the
+        # output VC while the port is locked — granting it would let the
+        # blocked packet hoard the VC and stall the holder's own UNLOCK
+        # forever.  Once granted, a stream always completes (a packet
+        # admitted before the lock was set behaves as having entered the
+        # locked path first, exactly like the single-VC switch).
+        # Phase A folded in: every allocated input VC with a flit at the
+        # front and room downstream becomes a switch-allocation request.
+        wants: Dict[str, List[VcKey]] = {}  # physical out port -> input VCs
+        lock_stalled_ports: List[str] = []
+        for ivc, queue in sorted_inputs:
+            committed = queue._committed
+            if not committed:
+                continue
+            flit = committed[0]
+            alloc = input_alloc[ivc]
+            if alloc is None:
+                if not flit.is_head:
+                    raise RuntimeError(
+                        f"{self.name}:{ivc[0]}:vc{ivc[1]}: body flit {flit!r} "
+                        f"at front with no allocation (framing bug)"
+                    )
+                out_port = self._route(flit.dest)
+                if lock_support:
+                    holder = output_lock[out_port]
+                    if holder is not None and holder != flit.src:
+                        lock_stalled_ports.append(out_port)
+                        continue  # admission refused until UNLOCK passes
+                okey = (out_port, self._output_vc_for(ivc, out_port))
+                if output_owner[okey] is not None:
+                    continue  # output VC busy; retry next cycle
+                output_owner[okey] = ivc
+                input_alloc[ivc] = okey
+                input_head[ivc] = flit
+                alloc = okey
+            okey = alloc
+            if flit.is_head and not wormhole:
+                ready = mode.head_may_depart(
+                    flits_buffered=self._flits_of_front_packet(queue, flit),
+                    packet_flits=flit.count,
+                    downstream_free=self._downstream_free(okey),
+                )
+            else:
+                ready = self.outputs[okey].can_push()
+            if ready:
+                wants.setdefault(okey[0], []).append(ivc)
+        if lock_stalled_ports:
+            self.lock_stall_cycles += 1
+            for out_port in set(lock_stalled_ports):
+                self.lock_stalls_by_output[out_port] += 1
+
+        # Phase B: switch allocation — one flit per physical output and
+        # per physical input port per cycle, QoS-arbitrated across VCs.
+        sent_ivcs: List[VcKey] = []
+        used_input_ports: set = set()
+        for out_port in self._physical_outputs:
+            contenders = wants.get(out_port)
+            if contenders is None:
+                continue
+            candidates: List[Candidate] = []
+            for ivc in contenders:
+                if ivc[0] in used_input_ports:
+                    continue  # input port already sent a flit this cycle
+                head = input_head[ivc]
+                assert head is not None
+                packet = head.packet
+                urgency = packet.user.get("urgency", 0) if packet else 0
+                candidates.append(
+                    Candidate(
+                        port=self._ckey[ivc],
+                        priority=head.priority,
+                        age=input_age[ivc],
+                        urgency=urgency,
+                    )
+                )
+            if not candidates:
+                continue
+            winner = self.arbiter.pick(out_port, candidates)
+            ivc = self._ckey_to_ivc[winner.port]
+            self._transfer(ivc, input_alloc[ivc], cycle)
+            sent_ivcs.append(ivc)
+            used_input_ports.add(ivc[0])
+
+        # Phase C: age input VCs that waited with flits buffered.
+        for ivc, queue in sorted_inputs:
+            if queue._committed and ivc not in sent_ivcs:
+                input_age[ivc] += 1
+            else:
+                input_age[ivc] = 0
+
+    def _transfer(self, ivc: VcKey, okey: VcKey, cycle: int) -> None:
+        out_port, out_vc = okey
+        flit = self.inputs[ivc].pop()
+        flit.vc = out_vc  # retag for the next link's VC
+        self.outputs[okey].push(flit)
         self.flits_forwarded += 1
         self.output_busy_cycles[out_port] += 1
         if flit.is_head:
-            self._input_alloc[in_port] = out_port
-            self._output_owner[out_port] = in_port
-            self._input_head[in_port] = flit
-            self.simulator.trace.log(
-                cycle,
-                self.name,
-                "route",
-                packet=flit.packet_id,
-                dest=flit.dest,
-                via=out_port,
-            )
+            self._input_alloc[ivc] = okey
+            self._output_owner[okey] = ivc
+            self._input_head[ivc] = flit
+            if self.vcs == 1:
+                self.simulator.trace.log(
+                    cycle,
+                    self.name,
+                    "route",
+                    packet=flit.packet_id,
+                    dest=flit.dest,
+                    via=out_port,
+                )
+            else:
+                self.simulator.trace.log(
+                    cycle,
+                    self.name,
+                    "route",
+                    packet=flit.packet_id,
+                    dest=flit.dest,
+                    via=out_port,
+                    vc=out_vc,
+                )
         if flit.is_tail:
-            head = self._input_head[in_port]
+            head = self._input_head[ivc]
             assert head is not None
-            self._input_alloc[in_port] = None
-            self._output_owner[out_port] = None
-            self._input_head[in_port] = None
+            self._input_alloc[ivc] = None
+            self._output_owner[okey] = None
+            self._input_head[ivc] = None
             self.packets_forwarded += 1
             if self.lock_support and head.lock_related and head.packet is not None:
                 self._update_lock(out_port, head, cycle)
@@ -320,7 +568,7 @@ class Router(Component):
 
     def utilization(self, cycles: int) -> Dict[str, float]:
         if cycles <= 0:
-            return {port: 0.0 for port in self.outputs}
+            return {port: 0.0 for port in self._physical_outputs}
         return {
             port: busy / cycles for port, busy in self.output_busy_cycles.items()
         }

@@ -1,24 +1,53 @@
-"""Deterministic routing.
+"""Deterministic routing and virtual-channel selection policies.
 
-Two schemes, both deadlock-free on the topologies the benches use:
+Three routing schemes:
 
 - **table routing** — per-router lookup tables computed from BFS shortest
-  paths with lexicographic tie-breaking (deterministic across runs);
-- **XY routing** — dimension-ordered routing for meshes/tori whose router
-  ids are ``(x, y)`` tuples; provably deadlock-free on meshes.
+  paths with canonical tie-breaking (deterministic across runs);
+- **XY routing** — dimension-ordered routing for meshes whose router ids
+  are ``(x, y)`` tuples; provably deadlock-free on meshes;
+- **DOR routing** — dimension-ordered routing *with wraparound* for
+  rings (integer ids) and tori (tuple ids): each dimension is traversed
+  the shortest way around its ring (ties towards the positive
+  direction), X before Y.  Minimal and deterministic; combined with the
+  dateline VC policy below it is provably deadlock-free with 2 VCs.
 
 Port naming convention (shared with :mod:`repro.transport.router`):
 ``to:<router>`` for an inter-router link towards ``<router>`` and
 ``local:<endpoint>`` for the ejection port of an attached endpoint.
+
+Virtual-channel selection
+-------------------------
+A :class:`VcPolicy` decides which VC a packet is injected on and which
+output VC a router's VC-allocation stage assigns at each hop.  The
+default policy keeps everything on VC 0.  :class:`PriorityVcPolicy`
+maps packet priority classes onto VCs (QoS isolation: a high-priority
+flow can never be head-of-line blocked behind best-effort traffic
+sharing its input port).  :class:`DatelineVcPolicy` implements the
+classic dateline construction for wraparound topologies:
+
+**Deadlock-freedom argument (dateline, 2 VCs).**  Under DOR routing a
+packet traverses each dimension's unidirectional ring at most once and
+crosses that ring's wraparound edge (the *dateline*) at most once.
+Packets enter every dimension on VC 0 and are promoted to VC 1 for the
+rest of that dimension when they cross the dateline.  Order the channels
+of one unidirectional ring ``c0 < c1 < … < ck`` starting just past the
+dateline: a packet on VC 0 only ever waits for strictly increasing VC-0
+channels (it would have been promoted before wrapping), and a packet on
+VC 1 only for strictly increasing VC-1 channels, so neither VC class
+contains a cyclic channel dependency.  Across dimensions DOR orders X
+strictly before Y, so inter-dimension dependencies are acyclic too, and
+ejection queues are always drainable sinks.  Hence the channel
+dependency graph is acyclic and wormhole routing cannot deadlock.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from typing import Dict, Hashable, Optional, Tuple
 
 import networkx as nx
 
-from repro.transport.topology import Topology
+from repro.transport.topology import Topology, router_sort_key
 
 RouterId = Hashable
 
@@ -41,8 +70,11 @@ def compute_routing_tables(
     """``tables[router][endpoint] -> output port name``.
 
     Next hops follow BFS shortest paths; among equal-length choices the
-    lexicographically smallest neighbour (by ``str``) wins, making tables
-    reproducible regardless of graph-internal ordering.
+    canonically smallest neighbour (see
+    :func:`~repro.transport.topology.router_sort_key`) wins, making
+    tables reproducible regardless of graph-internal ordering — and,
+    unlike the old ``key=str`` tie-break, independent of whether router
+    indices have one digit or two.
     """
     tables: Dict[RouterId, Dict[int, str]] = {r: {} for r in topology.routers}
     for endpoint in topology.endpoints:
@@ -55,14 +87,14 @@ def compute_routing_tables(
                 continue
             best = min(
                 (n for n in topology.graph.neighbors(router) if dist[n] < dist[router]),
-                key=str,
+                key=router_sort_key,
             )
             tables[router][endpoint] = port_to(best)
     return tables
 
 
 def xy_route(router: RouterId, dest_router: RouterId) -> RouterId:
-    """Next router on the X-then-Y path (mesh/torus with tuple ids)."""
+    """Next router on the X-then-Y path (mesh with tuple ids, no wrap)."""
     if not (isinstance(router, tuple) and isinstance(dest_router, tuple)):
         raise RoutingError(
             f"XY routing needs (x, y) router ids, got {router!r} -> {dest_router!r}"
@@ -92,3 +124,210 @@ def compute_xy_tables(topology: Topology) -> Dict[RouterId, Dict[int, str]]:
                     )
                 tables[router][endpoint] = port_to(nxt)
     return tables
+
+
+# ---------------------------------------------------------------------- #
+# dimension-ordered routing with wraparound (rings and tori)
+# ---------------------------------------------------------------------- #
+def _ring_step(coord: int, dest: int, size: int) -> int:
+    """Next coordinate moving the shortest way around a ring of ``size``
+    positions; an even split ties towards the positive direction."""
+    forward = (dest - coord) % size
+    backward = (coord - dest) % size
+    step = 1 if forward <= backward else -1
+    return (coord + step) % size
+
+
+def _torus_dims(topology: Topology) -> Tuple[int, int]:
+    """Grid dimensions inferred from ``(x, y)`` router ids."""
+    xs = {r[0] for r in topology.graph.nodes}
+    ys = {r[1] for r in topology.graph.nodes}
+    return max(xs) + 1, max(ys) + 1
+
+
+def dor_route(
+    router: RouterId, dest_router: RouterId, dims: Tuple[int, ...]
+) -> RouterId:
+    """Next router under dimension-ordered routing with wraparound.
+
+    ``dims`` holds the ring size per dimension: ``(n,)`` for an
+    integer-id ring, ``(width, height)`` for a torus.
+    """
+    if isinstance(router, tuple):
+        x, y = router
+        dx, dy = dest_router
+        if x != dx:
+            return (_ring_step(x, dx, dims[0]), y)
+        if y != dy:
+            return (x, _ring_step(y, dy, dims[1]))
+        raise RoutingError(f"dor_route called with router == dest ({router!r})")
+    if router == dest_router:
+        raise RoutingError(f"dor_route called with router == dest ({router!r})")
+    return _ring_step(router, dest_router, dims[0])
+
+
+def compute_dor_tables(topology: Topology) -> Dict[RouterId, Dict[int, str]]:
+    """Dimension-ordered wraparound tables for rings and tori.
+
+    Integer router ids are treated as a single ring; ``(x, y)`` ids as a
+    torus whose dimensions are inferred from the id set.  Every next hop
+    is checked against the graph, so a topology missing the wraparound
+    link the scheme wants (e.g. a plain mesh) fails loudly.
+    """
+    sample = topology.routers[0]
+    if isinstance(sample, tuple):
+        dims: Tuple[int, ...] = _torus_dims(topology)
+    else:
+        dims = (topology.graph.number_of_nodes(),)
+    tables: Dict[RouterId, Dict[int, str]] = {r: {} for r in topology.routers}
+    for endpoint in topology.endpoints:
+        home = topology.router_of(endpoint)
+        for router in topology.routers:
+            if router == home:
+                tables[router][endpoint] = port_local(endpoint)
+            else:
+                nxt = dor_route(router, home, dims)
+                if not topology.graph.has_edge(router, nxt):
+                    raise RoutingError(
+                        f"DOR next hop {router!r}->{nxt!r} is not a link of "
+                        f"{topology.name!r} (scheme needs ring/torus wraparound)"
+                    )
+                tables[router][endpoint] = port_to(nxt)
+    return tables
+
+
+ROUTING_SCHEMES = ("table", "xy", "dor")
+
+
+def compute_tables(
+    topology: Topology, scheme: str
+) -> Dict[RouterId, Dict[int, str]]:
+    """Dispatch on the routing scheme name (the ``routing=`` knob)."""
+    if scheme == "table":
+        return compute_routing_tables(topology)
+    if scheme == "xy":
+        return compute_xy_tables(topology)
+    if scheme == "dor":
+        return compute_dor_tables(topology)
+    raise ValueError(
+        f"unknown routing scheme {scheme!r}; known: {ROUTING_SCHEMES}"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# virtual-channel selection policies
+# ---------------------------------------------------------------------- #
+class VcPolicy:
+    """Chooses virtual channels at injection and per hop.
+
+    ``injection_vc`` runs in the injection port when a packet is
+    segmented; ``output_vc`` runs in the router's VC-allocation stage
+    when a head flit requests an output.  ``prev_router`` is the
+    neighbour the packet arrived from (``None`` at the injection hop)
+    and ``next_router`` the neighbour the chosen output leads to
+    (``None`` for ejection ports).  Policies are stateless: everything
+    they need rides on the packet or in the hop geometry, so one
+    instance can serve every router of a plane.
+    """
+
+    name = "keep"
+    min_vcs = 1
+
+    def injection_vc(self, packet, vcs: int) -> int:
+        return 0
+
+    def output_vc(
+        self,
+        router: RouterId,
+        prev_router: Optional[RouterId],
+        next_router: Optional[RouterId],
+        in_vc: int,
+        vcs: int,
+    ) -> int:
+        return in_vc
+
+
+class PriorityVcPolicy(VcPolicy):
+    """QoS isolation: packet priority class selects the injection VC.
+
+    Priority ``p`` rides VC ``min(p, vcs - 1)`` end to end, so a
+    high-priority flow owns its buffer at every *fabric* input port and
+    is never head-of-line blocked there behind a stalled best-effort
+    packet — the per-output QoS arbiters finally see the high-priority
+    head.  (The injection port's packet queue is still a shared FIFO;
+    one blocked packet parks aside per VC, deeper backlogs queue in
+    arrival order — see ROADMAP open items.)
+    """
+
+    name = "priority"
+
+    def injection_vc(self, packet, vcs: int) -> int:
+        return max(0, min(packet.priority, vcs - 1))
+
+
+class DatelineVcPolicy(VcPolicy):
+    """Dateline VC classes for rings/tori (see module docstring).
+
+    Packets enter each dimension on VC 0 and move to VC 1 when the hop
+    crosses that dimension's wraparound edge (detected geometrically: a
+    coordinate delta whose magnitude exceeds 1).  With DOR routing this
+    makes wormhole routing on ``topology.ring`` / ``topology.torus``
+    deadlock-free with 2 VCs.  Ejection keeps the current VC.
+    """
+
+    name = "dateline"
+    min_vcs = 2
+
+    @staticmethod
+    def _deltas(a: RouterId, b: RouterId) -> Tuple[int, ...]:
+        if isinstance(a, tuple):
+            return tuple(ax - bx for ax, bx in zip(a, b))
+        return (a - b,)
+
+    @classmethod
+    def _hop_dim(cls, a: RouterId, b: RouterId) -> int:
+        for dim, delta in enumerate(cls._deltas(a, b)):
+            if delta:
+                return dim
+        return -1
+
+    @classmethod
+    def _crosses_dateline(cls, a: RouterId, b: RouterId) -> bool:
+        return any(abs(delta) > 1 for delta in cls._deltas(a, b))
+
+    def output_vc(
+        self,
+        router: RouterId,
+        prev_router: Optional[RouterId],
+        next_router: Optional[RouterId],
+        in_vc: int,
+        vcs: int,
+    ) -> int:
+        if next_router is None:  # ejection: per-VC delivery, keep class
+            return in_vc
+        if self._crosses_dateline(router, next_router):
+            return 1
+        if prev_router is None:  # injection hop, dateline not crossed
+            return 0
+        if self._hop_dim(prev_router, router) != self._hop_dim(router, next_router):
+            return 0  # entering a fresh dimension ring
+        return min(in_vc, 1)
+
+
+VC_POLICIES = {
+    cls.name: cls for cls in (VcPolicy, PriorityVcPolicy, DatelineVcPolicy)
+}
+
+
+def make_vc_policy(policy) -> VcPolicy:
+    """Accept a policy instance, a registered name, or ``None`` (keep)."""
+    if policy is None:
+        return VcPolicy()
+    if isinstance(policy, VcPolicy):
+        return policy
+    try:
+        return VC_POLICIES[policy]()
+    except KeyError:
+        raise KeyError(
+            f"unknown VC policy {policy!r}; known: {sorted(VC_POLICIES)}"
+        ) from None

@@ -16,6 +16,25 @@ import networkx as nx
 RouterId = Hashable
 
 
+def router_sort_key(router: RouterId):
+    """Canonical, type-aware sort key for router ids.
+
+    Numeric ids sort numerically and tuple ids element-wise, so router
+    ``(1, 10)`` orders *after* ``(1, 2)`` — ``key=str`` put it first,
+    which silently changed port/neighbor (and hence arbitration
+    tie-break) order between fabrics narrower and wider than 10 routers.
+    Categories (numbers, strings, tuples) are kept disjoint so
+    heterogeneous id sets still have a total order.
+    """
+    if isinstance(router, tuple):
+        return (2, tuple(router_sort_key(element) for element in router))
+    if isinstance(router, bool):  # bool is an int subclass; keep it numeric
+        return (0, int(router), "")
+    if isinstance(router, (int, float)):
+        return (0, router, "")
+    return (1, 0, str(router))
+
+
 class Topology:
     """Router graph + endpoint attachment map."""
 
@@ -51,14 +70,14 @@ class Topology:
     # ------------------------------------------------------------------ #
     @property
     def routers(self) -> List[RouterId]:
-        return sorted(self.graph.nodes, key=str)
+        return sorted(self.graph.nodes, key=router_sort_key)
 
     @property
     def endpoints(self) -> List[int]:
         return sorted(self.endpoint_router)
 
     def neighbors(self, router: RouterId) -> List[RouterId]:
-        return sorted(self.graph.neighbors(router), key=str)
+        return sorted(self.graph.neighbors(router), key=router_sort_key)
 
     def endpoints_at(self, router: RouterId) -> List[int]:
         """Endpoints attached to ``router`` (precomputed, ascending)."""

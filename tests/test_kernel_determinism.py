@@ -22,6 +22,7 @@ from repro.ip.masters import (
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Tracer
 from repro.soc import InitiatorSpec, LinkSpec, SocBuilder, TargetSpec
+from repro.transport import topology as topo
 
 
 @pytest.fixture(autouse=True)
@@ -152,6 +153,61 @@ def build_gals_soc(strict):
     return builder.build()
 
 
+def build_vc_gals_soc(strict):
+    """Virtual channels + GALS + serialized links: a 2-VC dateline torus
+    under DOR routing, VC-multiplexed physical links (per-VC credits) on
+    every connection and three clock regions — the new transport machinery
+    at its least transparent, pinned byte-identical between kernels."""
+    _reset_ids()
+    ranges = [(0, 0x2000), (0x2000, 0x2000)]
+    builder = SocBuilder(
+        trace=Tracer(enabled=True),
+        strict_kernel=strict,
+        topology=topo.torus(3, 3, endpoints=5),
+        routing="dor",
+        vcs=2,
+        vc_policy="dateline",
+        links={
+            "router": LinkSpec(phit_bits=48, pipeline_latency=1),
+            "endpoint": LinkSpec(phit_bits=96, sync_stages=3),
+        },
+        clock_domains={"cpu": 2, "io": (3, 1), "fab": 1},
+        fabric_region="fab",
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "cpu_ahb", "AHB",
+            cpu_workload("cpu_ahb", ranges, count=15, seed=1),
+            region="cpu",
+        )
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "gpu_axi", "AXI",
+            random_workload(
+                "gpu_axi", ranges, count=15, seed=2, tags=4, rate=0.3,
+                burst_beats=(1, 4),
+            ),
+            protocol_kwargs={"id_count": 4},
+        )
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "acc_msg", "PROPRIETARY",
+            dma_workload("acc_msg", base=0x1000, bytes_total=128),
+        )
+    )
+    builder.add_target(
+        TargetSpec("dram", size=0x2000, read_latency=6, write_latency=3,
+                   region="io")
+    )
+    builder.add_target(
+        TargetSpec("sram", size=0x2000, read_latency=2, write_latency=1,
+                   region="cpu")
+    )
+    return builder.build()
+
+
 def fingerprint(soc, cycles):
     soc.run(cycles)
     sim = soc.sim
@@ -201,8 +257,14 @@ def fingerprint(soc, cycles):
         (build_mixed_soc, 4000),
         (build_lock_soc, 3000),
         (build_gals_soc, 5000),
+        (build_vc_gals_soc, 5000),
     ],
-    ids=["mixed-protocols", "legacy-lock", "gals-serialized-links"],
+    ids=[
+        "mixed-protocols",
+        "legacy-lock",
+        "gals-serialized-links",
+        "vc-dateline-gals",
+    ],
 )
 def test_activity_kernel_matches_reference(build, cycles):
     activity = fingerprint(build(strict=False), cycles)
@@ -231,6 +293,22 @@ def test_gals_soc_drains_and_retires():
     assert all(m.finished() for m in soc.masters.values())
     assert soc.fabric.physical_links  # the phys path was actually built
     assert all(link.in_flight == 0 for link in soc.fabric.physical_links)
+    soc.run(16)
+    assert soc.sim.active_count == 0
+
+
+def test_vc_gals_soc_drains_and_retires():
+    """VC fabrics obey the wake protocol too: per-VC router state,
+    VC-multiplexed links and their credit counters all go quiet, and the
+    drained SoC leaves the schedule (active_count == 0)."""
+    soc = build_vc_gals_soc(strict=False)
+    soc.run_to_completion(max_cycles=400_000)
+    assert all(m.finished() for m in soc.masters.values())
+    assert soc.fabric.physical_links
+    assert all(link.in_flight == 0 for link in soc.fabric.physical_links)
+    for link in soc.fabric.physical_links:
+        for credit in link.credits:
+            assert credit.available == credit.capacity
     soc.run(16)
     assert soc.sim.active_count == 0
 

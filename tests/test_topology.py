@@ -94,6 +94,37 @@ class TestEndpointIndex:
         assert sorted(seen) == t.endpoints
 
 
+class TestCanonicalOrdering:
+    """Router/neighbor ordering is numeric, not lexicographic: with
+    ``key=str``, router ``(1, 10)`` sorted before ``(1, 2)`` as soon as a
+    fabric grew wider than 10, silently changing arbitration tie-break
+    order between small and large meshes.  These pin the canonical
+    tuple-key ordering."""
+
+    def test_wide_ring_routers_sort_numerically(self):
+        t = topo.ring(12)
+        assert t.routers == list(range(12))  # str sort gave 0,1,10,11,2,…
+
+    def test_wide_mesh_neighbors_sort_elementwise(self):
+        t = topo.mesh(2, 12)
+        assert t.neighbors((0, 10)) == [(0, 9), (0, 11), (1, 10)]
+        assert t.neighbors((1, 2)) == [(0, 2), (1, 1), (1, 3)]
+
+    def test_router_sort_key_orders_double_digit_tuples(self):
+        assert topo.router_sort_key((1, 2)) < topo.router_sort_key((1, 10))
+        assert sorted([(1, 10), (1, 2), (0, 11)], key=topo.router_sort_key) == [
+            (0, 11), (1, 2), (1, 10)
+        ]
+
+    def test_ordering_consistent_between_narrow_and_wide(self):
+        """The relative order of a router pair never depends on fabric
+        width (the str-key bug made it flip past width 10)."""
+        narrow = topo.mesh(2, 3)
+        wide = topo.mesh(2, 12)
+        common = [r for r in narrow.routers if r in set(wide.routers)]
+        assert common == [r for r in wide.routers if r in set(narrow.routers)]
+
+
 class TestValidation:
     def test_disconnected_graph_rejected(self):
         g = nx.Graph()
