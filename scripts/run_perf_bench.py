@@ -21,17 +21,35 @@ builders (``benchmarks/conftest.py``):
   plus a high-priority video stream).  This workload cannot run at all
   on the single-VC fabric (wraparound wormhole deadlocks); it tracks
   the cost of the per-VC router path across PRs.
+- ``adaptive_hotspot`` — a 4x4 torus under hotspot + background traffic
+  (half the masters hammer one slow target, the rest stream to fast
+  ones) with ``routing="adaptive"`` and the escape VC policy.  Besides
+  the usual reference-vs-activity pair, the same traffic is replayed
+  under deterministic DOR + dateline and recorded as ``dor_baseline``;
+  ``flits_vs_dor`` is the scenario headline — congestion-scored route
+  choice forwards more flits through the same window because background
+  flows route around the hotspot's backpressure tree.
 
 Each workload runs under ``Simulator(strict=True)`` (tick everything,
 commit everything) and under the default activity-driven kernel, and the
 results land in ``BENCH_kernel.json`` next to the repo root so the perf
 trajectory is tracked across PRs.
 
+``--check-against BASELINE.json`` turns the script into a perf gate: it
+fails (exit 1) if any selected workload's activity-kernel ``cycles_per_s``
+drops more than ``--check-threshold`` (default 30%) below the baseline
+file's number for that workload — this is what CI runs against the
+committed ``BENCH_kernel.json``.  Quick runs write to (and compare
+against) a separate ``quick_workloads`` section, because short windows
+amortize idle cycles very differently from the full ones.
+
 Usage::
 
     PYTHONPATH=src python scripts/run_perf_bench.py [--out BENCH_kernel.json]
     PYTHONPATH=src python scripts/run_perf_bench.py --quick   # CI smoke
     PYTHONPATH=src python scripts/run_perf_bench.py --quick --workload vc_torus
+    PYTHONPATH=src python scripts/run_perf_bench.py --quick \
+        --check-against BENCH_kernel.json --out /tmp/fresh.json
 """
 
 from __future__ import annotations
@@ -55,9 +73,9 @@ from benchmarks.conftest import (  # noqa: E402
     mixed_initiators,
     mixed_targets,
 )
-from repro.ip.masters import video_workload  # noqa: E402
+from repro.ip.masters import random_workload, video_workload  # noqa: E402
 from repro.phys.link import LinkSpec  # noqa: E402
-from repro.soc import InitiatorSpec  # noqa: E402
+from repro.soc import InitiatorSpec, TargetSpec  # noqa: E402
 from repro.transport import topology as topo  # noqa: E402
 
 
@@ -140,6 +158,59 @@ def build_vc_torus(strict: bool, scale: int):
     )
 
 
+def build_adaptive_hotspot(strict: bool, scale: int, routing: str = "adaptive"):
+    """4x4 torus, hotspot + background traffic, adaptive vs DOR.
+
+    Six masters hammer one slow target ("hot", long latencies and a
+    shallow outstanding window, so its backpressure tree reaches deep
+    into the fabric); six more stream to three fast background targets
+    whose DOR paths share links with that tree.  Under adaptive routing
+    the background flows route around the congested quadrant (and the
+    hotspot flows spread over their minimal quadrants), so more flits
+    move through the same cycle window.  ``routing="dor"`` replays the
+    identical traffic on the deterministic fabric (2 VCs + dateline,
+    DOR's canonical deadlock-free configuration) for the comparison.
+    """
+    _reset_global_ids()
+    hot_range = [(0, 0x2000)]
+    bg_ranges = [(0x2000, 0x2000), (0x4000, 0x2000), (0x6000, 0x2000)]
+    initiators = []
+    for index in range(12):
+        hot = index % 2 == 0
+        initiators.append(
+            InitiatorSpec(
+                f"ip{index}", "AXI",
+                random_workload(
+                    f"ip{index}",
+                    hot_range if hot else bg_ranges,
+                    count=100_000,
+                    seed=20 + index,
+                    rate=0.9 if hot else 0.7,
+                    tags=4,
+                    burst_beats=(4, 8),
+                ),
+                protocol_kwargs={"id_count": 4},
+            )
+        )
+    targets = [
+        TargetSpec("hot", size=0x2000, read_latency=14, write_latency=7,
+                   max_outstanding=1),
+        TargetSpec("bg0", size=0x2000, read_latency=2, write_latency=1),
+        TargetSpec("bg1", size=0x2000, read_latency=2, write_latency=1),
+        TargetSpec("bg2", size=0x2000, read_latency=2, write_latency=1),
+    ]
+    endpoints = len(initiators) + len(targets)
+    kwargs = dict(
+        topology=topo.torus(4, 4, endpoints=endpoints),
+        strict_kernel=strict,
+    )
+    if routing == "adaptive":
+        kwargs.update(routing="adaptive", vcs=3, vc_policy="escape")
+    else:
+        kwargs.update(routing="dor", vcs=2, vc_policy="dateline")
+    return build_noc(initiators, targets, **kwargs)
+
+
 def run_workload(builder, strict: bool, cycles: int, scale: int) -> dict:
     soc = builder(strict, scale)
     t0 = time.perf_counter()
@@ -165,7 +236,52 @@ WORKLOADS = {
     "saturated": build_saturated,
     "phys_gals": build_phys_gals,
     "vc_torus": build_vc_torus,
+    "adaptive_hotspot": build_adaptive_hotspot,
 }
+
+
+def check_against(
+    baseline_path: Path, results: dict, threshold: float, section: str
+) -> int:
+    """Perf-regression gate: compare activity-kernel cycles_per_s.
+
+    Quick and full windows amortize idle cycles very differently, so a
+    run only ever compares against the *same-window section* of the
+    baseline (``workloads`` for full runs, ``quick_workloads`` for
+    ``--quick`` runs) and skips entries whose measurement window still
+    differs.  Workloads missing from the baseline are skipped too (new
+    workloads cannot regress against numbers that do not exist yet).
+    Returns the number of regressions past ``threshold``.
+    """
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"!! cannot read perf baseline {baseline_path}: {exc}")
+        return 1
+    regressions = 0
+    for name, entry in sorted(results[section].items()):
+        base_entry = baseline.get(section, {}).get(name)
+        if not base_entry or "activity" not in base_entry:
+            continue  # no (or malformed) baseline for this workload
+        if base_entry["activity"]["cycles"] != entry["activity"]["cycles"]:
+            print(
+                f"   perf-gate {name}: window changed "
+                f"({base_entry['activity']['cycles']} -> "
+                f"{entry['activity']['cycles']} cycles), skipping"
+            )
+            continue
+        base = base_entry["activity"]["cycles_per_s"]
+        current = entry["activity"]["cycles_per_s"]
+        ratio = current / base if base else 1.0
+        verdict = "ok"
+        if ratio < 1.0 - threshold:
+            verdict = f"REGRESSION (>{threshold:.0%} drop)"
+            regressions += 1
+        print(
+            f"   perf-gate {name}: {current:.0f} vs baseline {base:.0f} "
+            f"cyc/s ({ratio:.2f}x) {verdict}"
+        )
+    return regressions
 
 
 def main(argv=None) -> int:
@@ -191,8 +307,23 @@ def main(argv=None) -> int:
         help="measurement window in cycles (vc_torus)",
     )
     parser.add_argument(
+        "--hotspot-cycles", type=int, default=20_000,
+        help="measurement window in cycles (adaptive_hotspot)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="small windows for CI smoke runs",
+    )
+    parser.add_argument(
+        "--check-against", metavar="JSON", default=None,
+        help="perf gate: fail if any selected workload's activity "
+             "cycles_per_s drops more than --check-threshold below this "
+             "baseline JSON (CI passes the committed BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--check-threshold", type=float, default=0.30,
+        help="allowed fractional cycles_per_s drop before the gate fails "
+             "(default 0.30)",
     )
     parser.add_argument(
         "--workload", action="append", choices=sorted(WORKLOADS),
@@ -207,6 +338,7 @@ def main(argv=None) -> int:
         "saturated": 1_500 if args.quick else args.saturated_cycles,
         "phys_gals": 3_000 if args.quick else args.phys_cycles,
         "vc_torus": 3_000 if args.quick else args.vc_cycles,
+        "adaptive_hotspot": 3_000 if args.quick else args.hotspot_cycles,
     }
     scale = 1
     selected = {
@@ -216,17 +348,24 @@ def main(argv=None) -> int:
     }
 
     out = Path(args.out)
+    # This run writes into the section matching its windows — "workloads"
+    # for full runs, "quick_workloads" for --quick — so quick CI smoke
+    # numbers never overwrite (or get compared against) full-window ones.
+    section = "quick_workloads" if args.quick else "workloads"
+    other = "workloads" if args.quick else "quick_workloads"
     # Baselines (e.g. the seed kernel, measured once per machine) are
     # preserved across reruns so the JSON shows the cross-PR trajectory;
     # with --workload filters, untouched workloads keep their previous
-    # numbers too.
+    # numbers too, and the other window section is carried over verbatim.
     baselines = {}
-    previous_workloads = {}
+    previous_section = {}
+    previous_other = {}
     if out.exists():
         try:
             previous = json.loads(out.read_text())
             baselines = previous.get("baselines", {})
-            previous_workloads = previous.get("workloads", {})
+            previous_section = previous.get(section, {})
+            previous_other = previous.get(other, {})
         except (json.JSONDecodeError, OSError):
             pass
 
@@ -238,9 +377,10 @@ def main(argv=None) -> int:
             "quick": args.quick,
         },
         "baselines": baselines,
-        "workloads": {
+        other: previous_other,
+        section: {
             name: numbers
-            for name, numbers in previous_workloads.items()
+            for name, numbers in previous_section.items()
             if name not in selected
         },
     }
@@ -256,7 +396,7 @@ def main(argv=None) -> int:
         ):
             print(f"!! kernel mismatch on {name}: {reference} vs {activity}")
             return 1
-        results["workloads"][name] = {
+        entry = {
             "reference": reference,
             "activity": activity,
             "speedup": round(speedup, 2),
@@ -267,10 +407,33 @@ def main(argv=None) -> int:
             f"({activity['cycles_per_s']:.0f} cyc/s, "
             f"{activity['flits_forwarded']} flits)"
         )
+        if name == "adaptive_hotspot":
+            # Replay the identical traffic under deterministic DOR: the
+            # scenario headline is fabric throughput, flits through the
+            # same window (and flits_per_s for the wall-clock view).
+            dor = run_workload(
+                lambda strict, sc: build_adaptive_hotspot(
+                    strict, sc, routing="dor"
+                ),
+                False, cycles, scale,
+            )
+            entry["dor_baseline"] = dor
+            entry["flits_vs_dor"] = round(
+                activity["flits_forwarded"] / dor["flits_forwarded"], 3
+            )
+            print(
+                f"   dor replay {dor['wall_s']:.3f}s "
+                f"({dor['flits_forwarded']} flits) -> adaptive carries "
+                f"{entry['flits_vs_dor']:.2f}x the flits"
+            )
+            if activity["flits_forwarded"] <= dor["flits_forwarded"]:
+                print("!! adaptive_hotspot: adaptive did not beat DOR")
+                return 1
+        results[section][name] = entry
 
     for name, base in baselines.items():
         for workload, numbers in base.get("workloads", {}).items():
-            entry = results["workloads"].get(workload)
+            entry = results[section].get(workload)
             if entry and numbers.get("cycles") == entry["activity"]["cycles"]:
                 entry[f"speedup_vs_{name}"] = round(
                     numbers["wall_s"] / entry["activity"]["wall_s"], 2
@@ -278,6 +441,14 @@ def main(argv=None) -> int:
 
     out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {out}")
+    if args.check_against:
+        regressions = check_against(
+            Path(args.check_against), results, args.check_threshold, section
+        )
+        if regressions:
+            print(f"!! perf gate failed: {regressions} regression(s)")
+            return 1
+        print("perf gate passed")
     return 0
 
 

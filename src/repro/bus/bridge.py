@@ -23,7 +23,7 @@ from repro.bus.shared_bus import BusOp, BusReply, SharedBus
 from repro.protocols.ahb import AhbResponse, hresp_from_status
 from repro.protocols.axi import AxiB, AxiR, xresp_from_status
 from repro.protocols.base import ProtocolMaster
-from repro.protocols.ocp import MCmd, OcpResponse, SResp
+from repro.protocols.ocp import OcpResponse, SResp
 from repro.protocols.proprietary import MsgKind, MsgResponse
 from repro.protocols.vci import VciResponse, rerror_from_status
 from repro.sim.component import Component

@@ -19,7 +19,7 @@ answer is "the NIU and possibly a packet user bit, nothing else".
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Set
 
 from repro.core.packet import PacketFormat, UserBit

@@ -158,6 +158,10 @@ class NocPacket:
     user: Dict[str, int] = field(default_factory=dict)
     txn_id: int = -1
     injected_cycle: int = -1
+    #: Per-(source, destination) injection sequence, stamped by adaptive
+    #: planes so the ejection port can restore per-pair FIFO delivery
+    #: (-1 on deterministic planes, which need no resequencing).
+    fabric_seq: int = -1
 
     def __post_init__(self) -> None:
         if self.slv_addr < 0 or self.mst_addr < 0:

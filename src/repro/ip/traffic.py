@@ -13,10 +13,9 @@ relies on.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.transaction import (
-    BurstType,
     Opcode,
     ResponseStatus,
     Transaction,

@@ -23,7 +23,6 @@ from repro.protocols.axi import (
     AxiAW,
     AxiB,
     AxiR,
-    XResp,
     xresp_from_status,
 )
 from repro.protocols.base import MasterSocket

@@ -274,6 +274,15 @@ class TargetNiu(Component):
         self.locks = lock_manager
         self._pending: Dict[int, NocPacket] = {}  # token -> request packet
         self._release_on_complete: Dict[int, int] = {}  # token -> mst
+        # Lock-blocked requests parked out of the delivery queue (arrival
+        # order).  A bystander's request can land in the queue before the
+        # holder's LOCK engages — easily under adaptive routing, where
+        # packets arrive over several paths — and blocking it at the
+        # *head* would head-of-line block the holder's own traffic,
+        # including the UNLOCK that ends the critical section: deadlock.
+        # Parking keeps per-source FIFO (later packets of a parked master
+        # are parked too) while the holder keeps flowing.
+        self._parked: List[NocPacket] = []
         self._next_token = 0
         # Responses leave in request-acceptance order so the fabric's
         # per-(initiator, tag) FIFO guarantee holds even when the NIU
@@ -295,11 +304,14 @@ class TargetNiu(Component):
     # ------------------------------------------------------------------ #
     def is_idle(self) -> bool:
         """No packet waiting, nothing outstanding at the target IP, and
-        no response pending injection: the NIU has nothing to advance."""
+        no response pending injection: the NIU has nothing to advance.
+        A non-empty parked list keeps the NIU scheduled (conservative:
+        the lock state it waits on changes inside our own ticks)."""
         return not (
             self._req_packets
             or self._order
             or self._pending
+            or self._parked
             or self.slave_socket.responses
         )
 
@@ -312,30 +324,68 @@ class TargetNiu(Component):
     # ------------------------------------------------------------------ #
     def _accept_requests(self, cycle: int) -> None:
         queue = self.fabric.requests(self.endpoint)
+        if self.locks is not None:
+            # Park lock-blocked heads aside so a bystander that slipped
+            # into the queue around the LOCK can never head-of-line
+            # block the holder's traffic (see _parked).  Per-source FIFO
+            # is preserved: later packets of a parked master park too.
+            while queue:
+                head: NocPacket = queue.peek()
+                mst = head.mst_addr
+                if self.locks.may_proceed(mst) and not any(
+                    parked.mst_addr == mst for parked in self._parked
+                ):
+                    break
+                self._parked.append(queue.pop())
+            if self._parked:
+                # Serve the oldest parked packet whose master may now
+                # proceed (one packet per cycle, parked first: they are
+                # the oldest arrivals).  Blocked-cycle accounting counts
+                # only cycles in which some parked packet is actually
+                # refused — not the post-UNLOCK drain.
+                servable = None
+                blocked = False
+                for index, packet in enumerate(self._parked):
+                    if self.locks.may_proceed(packet.mst_addr):
+                        if servable is None:
+                            servable = index
+                    else:
+                        blocked = True
+                if blocked:
+                    self.locks.note_blocked()
+                    self.lock_blocked_cycles += 1
+                if servable is not None:
+                    packet = self._parked[servable]
+                    if self._serve_packet(packet, cycle):
+                        del self._parked[servable]
+                    return
         if not queue:
             return
-        packet: NocPacket = queue.peek()
-        if self.locks is not None and not self.locks.may_proceed(packet.mst_addr):
-            self.locks.note_blocked()
-            self.lock_blocked_cycles += 1
-            return
+        packet = queue.peek()
+        if self._serve_packet(packet, cycle):
+            queue.pop()
+
+    def _serve_packet(self, packet: NocPacket, cycle: int) -> bool:
+        """Serve one delivered request; True when the packet is consumed.
+
+        False means a capacity gate stalled it (socket slot, outstanding
+        window, response injection) — the caller keeps it queued/parked
+        and retries next cycle.  Capacity gates come before any state
+        change so a stalled cycle has no side effects (in particular:
+        the exclusive reservation must be consumed exactly once).
+        """
         if packet.opcode is Opcode.LOCK:
-            self._serve_lock(queue, packet, cycle)
-            return
+            return self._serve_lock(packet, cycle)
         if packet.opcode is Opcode.UNLOCK:
-            self._serve_unlock(queue, packet, cycle)
-            return
+            return self._serve_unlock(packet, cycle)
         excl = bool(packet.user.get("excl"))
         if excl and packet.opcode.is_write and self.monitor is None:
-            self._respond_direct(queue, packet, ResponseStatus.SLVERR)
-            return
-        # Capacity gates come before any state change so a stalled cycle
-        # has no side effects (in particular: the exclusive reservation
-        # must be consumed exactly once).
+            self._respond_direct(packet, ResponseStatus.SLVERR)
+            return True
         if not self.slave_socket.requests.can_push():
-            return
+            return False
         if len(self._pending) >= self.max_outstanding:
-            return
+            return False
         if excl and packet.opcode.is_write:
             # Decide *before* touching the target: a failed exclusive
             # store must not modify memory.
@@ -344,11 +394,11 @@ class TargetNiu(Component):
             )
             if result is ExclusiveResult.OKAY_FAILED:
                 self.excl_failures += 1
-                self._respond_direct(queue, packet, ResponseStatus.OKAY)
-                return
+                self._respond_direct(packet, ResponseStatus.OKAY)
+                return True
             # EXOKAY: fall through and perform the write.
-        queue.pop()
         self._forward(packet, excl, cycle)
+        return True
 
     def _allocate_token(self) -> int:
         token = self._next_token
@@ -356,34 +406,31 @@ class TargetNiu(Component):
         self._order.append(token)
         return token
 
-    def _serve_lock(self, queue, packet: NocPacket, cycle: int) -> None:
+    def _serve_lock(self, packet: NocPacket, cycle: int) -> bool:
         assert self.locks is not None, "LOCK packet at target without lock support"
         if not self.locks.acquire(packet.mst_addr):
-            return  # holder active; stall (may_proceed covered re-check)
-        queue.pop()
+            return False  # holder active; stall (may_proceed covered re-check)
         token = self._allocate_token()
         self._ready[token] = packet.make_response(ResponseStatus.OKAY)
         self.requests_served += 1
         self.simulator.trace.log(
             cycle, self.name, "lock_acquired", master=packet.mst_addr
         )
+        return True
 
-    def _serve_unlock(self, queue, packet: NocPacket, cycle: int) -> None:
+    def _serve_unlock(self, packet: NocPacket, cycle: int) -> bool:
         assert self.locks is not None
         self.locks.release(packet.mst_addr)
-        queue.pop()
         token = self._allocate_token()
         self._ready[token] = packet.make_response(ResponseStatus.OKAY)
         self.requests_served += 1
         self.simulator.trace.log(
             cycle, self.name, "lock_released", master=packet.mst_addr
         )
+        return True
 
-    def _respond_direct(
-        self, queue, packet: NocPacket, status: ResponseStatus
-    ) -> None:
+    def _respond_direct(self, packet: NocPacket, status: ResponseStatus) -> None:
         """Complete at the NIU without involving the target IP."""
-        queue.pop()
         payload = None
         if packet.opcode.is_read and not status.is_error:
             payload = [0] * packet.beats
@@ -462,4 +509,4 @@ class TargetNiu(Component):
 
     @property
     def outstanding(self) -> int:
-        return len(self._pending) + len(self._order)
+        return len(self._pending) + len(self._order) + len(self._parked)

@@ -22,7 +22,7 @@ offsets, and a multi-target surcharge.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.packet import PacketFormat
 from repro.niu.tag_policy import TagPolicy

@@ -22,7 +22,6 @@ targets, scaling their gate count to their expected performance."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.core.ordering import OrderingModel
 from repro.core.transaction import Transaction

@@ -15,8 +15,8 @@ form.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.ordering import OrderingModel
 from repro.core.transaction import BurstType, Opcode, ResponseStatus, Transaction

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol
 
 from repro.core.ordering import OrderingChecker, OrderingModel
-from repro.core.transaction import Opcode, ResponseStatus, Transaction
+from repro.core.transaction import ResponseStatus, Transaction
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator
 from repro.sim.queue import SimQueue

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.ordering import OrderingModel
 from repro.core.transaction import Opcode, ResponseStatus, Transaction

@@ -8,10 +8,17 @@ how benchmark E1 compares the two architectures on identical workloads.
 """
 
 from repro.soc.builder import NocSoc, SocBuilder
-from repro.soc.config import ClockDomain, InitiatorSpec, LinkSpec, TargetSpec
+from repro.soc.config import (
+    ClockDomain,
+    EscapeVcPolicy,
+    InitiatorSpec,
+    LinkSpec,
+    TargetSpec,
+)
 
 __all__ = [
     "ClockDomain",
+    "EscapeVcPolicy",
     "InitiatorSpec",
     "LinkSpec",
     "NocSoc",

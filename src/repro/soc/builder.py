@@ -23,9 +23,9 @@ from repro.protocols.base import ProtocolMaster, SlaveSocket
 from repro.protocols.ocp import OcpMaster
 from repro.protocols.proprietary import MsgMaster
 from repro.protocols.vci import AvciMaster, BvciMaster, PvciMaster
-from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.kernel import Simulator
 from repro.sim.trace import Tracer
-from repro.soc.config import InitiatorSpec, TargetSpec
+from repro.soc.config import EscapeVcPolicy, InitiatorSpec, TargetSpec
 from repro.transport import topology as topo_mod
 from repro.transport.network import Fabric
 from repro.transport.switching import SwitchingMode
@@ -164,12 +164,21 @@ class SocBuilder:
 
     - ``vcs`` — virtual channels per link (per plane);
     - ``vc_policy`` — a :class:`~repro.transport.routing.VcPolicy`
-      instance or name (``"keep"``, ``"priority"``, ``"dateline"``);
-      the dateline policy plus ``routing="dor"`` makes ring/torus
-      wormhole fabrics deadlock-free with 2 VCs;
+      instance or name (``"keep"``, ``"priority"``, ``"dateline"``,
+      ``"escape"``); the dateline policy plus ``routing="dor"`` makes
+      ring/torus wormhole fabrics deadlock-free with 2 VCs;
     - ``vc_separation`` — carry requests and responses on disjoint VC
       classes of a *single* plane instead of two independent planes
       (``vcs`` must be even).
+
+    Adaptive routing (``routing="adaptive"``): every hop may forward on
+    any output of the minimal set, chosen per cycle by downstream
+    congestion, with the top two VCs reserved as the deterministic
+    escape subnetwork (DOR + dateline) that keeps the fabric
+    deadlock-free — see :class:`~repro.transport.routing.EscapeVcPolicy`.
+    ``adaptive_vcs=N`` sizes the adaptive class (total ``vcs`` becomes
+    ``N + 2``); alternatively set ``vcs`` directly (defaults to 3 — one
+    adaptive VC plus the escape pair — when neither is given).
     """
 
     _LINK_CLASSES = ("router", "endpoint")
@@ -192,6 +201,7 @@ class SocBuilder:
         vcs: int = 1,
         vc_policy=None,
         vc_separation: bool = False,
+        adaptive_vcs: Optional[int] = None,
     ) -> None:
         self.name = name
         self.mode = mode
@@ -213,6 +223,7 @@ class SocBuilder:
         self.vcs = vcs
         self.vc_policy = vc_policy
         self.vc_separation = vc_separation
+        self.adaptive_vcs = adaptive_vcs
         self.initiators: List[InitiatorSpec] = []
         self.targets: List[TargetSpec] = []
 
@@ -345,6 +356,27 @@ class SocBuilder:
             max_outstanding=max(8, max_outstanding),
         )
 
+        # VC-count resolution for adaptive fabrics: adaptive_vcs sizes the
+        # adaptive class on top of the escape pair; a bare
+        # routing="adaptive" defaults to the minimal 1 + 2 split.
+        vcs = self.vcs
+        if self.adaptive_vcs is not None:
+            if self.routing != "adaptive":
+                raise ValueError(
+                    f"adaptive_vcs={self.adaptive_vcs} requires "
+                    f"routing='adaptive', got routing={self.routing!r}"
+                )
+            if self.adaptive_vcs < 1:
+                raise ValueError("adaptive_vcs must be >= 1")
+            if vcs != 1:
+                raise ValueError(
+                    "give either vcs (total VC count) or adaptive_vcs "
+                    "(adaptive class size), not both"
+                )
+            vcs = self.adaptive_vcs + EscapeVcPolicy.escape_vcs
+        elif self.routing == "adaptive" and vcs == 1:
+            vcs = 1 + EscapeVcPolicy.escape_vcs
+
         fabric = Fabric(
             sim,
             topology,
@@ -364,7 +396,7 @@ class SocBuilder:
             endpoint_link_spec=link_specs["endpoint"],
             fabric_domain=fabric_domain,
             endpoint_domains=endpoint_domains,
-            vcs=self.vcs,
+            vcs=vcs,
             vc_policy=self.vc_policy,
             vc_separation=self.vc_separation,
         )

@@ -19,6 +19,7 @@ from repro.phys.clocking import ClockDomain
 from repro.phys.link import LinkSpec
 from repro.transport.routing import (
     DatelineVcPolicy,
+    EscapeVcPolicy,
     PriorityVcPolicy,
     VcPolicy,
 )
@@ -26,6 +27,7 @@ from repro.transport.routing import (
 __all__ = [
     "ClockDomain",
     "DatelineVcPolicy",
+    "EscapeVcPolicy",
     "InitiatorSpec",
     "KNOWN_PROTOCOLS",
     "LinkSpec",

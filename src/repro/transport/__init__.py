@@ -14,10 +14,13 @@ from repro.transport.network import BufferSizingError, Fabric, KindVcPolicy, Net
 from repro.transport.qos import AgeArbiter, Arbiter, PriorityArbiter, RoundRobinArbiter
 from repro.transport.router import Router
 from repro.transport.routing import (
+    AdaptiveRoutingTable,
     DatelineVcPolicy,
+    EscapeVcPolicy,
     PriorityVcPolicy,
     RoutingError,
     VcPolicy,
+    compute_adaptive_tables,
     compute_dor_tables,
     compute_routing_tables,
     make_vc_policy,
@@ -27,11 +30,13 @@ from repro.transport.switching import SwitchingMode
 from repro.transport.topology import Topology, router_sort_key
 
 __all__ = [
+    "AdaptiveRoutingTable",
     "AgeArbiter",
     "Arbiter",
     "BufferSizingError",
     "CreditCounter",
     "DatelineVcPolicy",
+    "EscapeVcPolicy",
     "Fabric",
     "Flit",
     "KindVcPolicy",
@@ -46,6 +51,7 @@ __all__ = [
     "SwitchingMode",
     "Topology",
     "VcPolicy",
+    "compute_adaptive_tables",
     "compute_dor_tables",
     "compute_routing_tables",
     "flits_for_packet",

@@ -39,10 +39,12 @@ from repro.sim.component import Component
 from repro.sim.kernel import Simulator
 from repro.sim.queue import SimQueue
 from repro.transport.flit import Flit, Packetizer, Reassembler, flits_for_packet
-from repro.transport.qos import Arbiter, make_arbiter
+from repro.transport.qos import make_arbiter
 from repro.transport.router import Router
 from repro.transport.routing import (
+    EscapeVcPolicy,
     VcPolicy,
+    compute_adaptive_tables,
     compute_tables,
     make_vc_policy,
     port_local,
@@ -171,6 +173,25 @@ class EjectionPort(Component):
     ``packet_queues`` is either a single queue or, on a plane with
     request/response VC separation, a ``{PacketKind: queue}`` mapping —
     the completed packet is delivered by its kind.
+
+    ``resequence=True`` (adaptive planes) interposes a *reorder buffer*
+    between reassembly and delivery: adaptive route choice is per
+    packet, so packets between one (source, destination) pair can
+    arrive out of order, but the transaction layer — state-table
+    response matching, lock managers — is built on the fabric's per-pair
+    FIFO contract.  :meth:`Network.inject` stamps every packet with a
+    per-(source, destination) sequence number and the ejection port
+    releases packets to the endpoint strictly in that order, holding
+    later arrivals aside until the gap fills.  Only the tail of the
+    *next expected* packet is ever refused (packet-granularity
+    backpressure while its delivery queue is full, as on deterministic
+    planes); out-of-order arrivals are always absorbed — refusing them
+    could starve a gap-filling packet queued behind the refused tail on
+    the same ejection VC.  The buffer's occupancy is therefore bounded
+    by the traffic in flight towards this endpoint (a parked packet's
+    missing predecessor is still in the fabric); ``reorder_high_watermark``
+    tracks it.  Deterministic planes skip the machinery entirely
+    (identical wiring and timing to the pre-adaptive fabric).
     """
 
     def __init__(
@@ -179,6 +200,7 @@ class EjectionPort(Component):
         endpoint: int,
         flit_queues: List[SimQueue],
         packet_queues: Union[SimQueue, Dict[PacketKind, SimQueue]],
+        resequence: bool = False,
     ) -> None:
         super().__init__(name)
         self.endpoint = endpoint
@@ -196,6 +218,14 @@ class EjectionPort(Component):
         ]
         self._last_vc = self.vcs - 1
         self.packets_ejected = 0
+        self.resequence = resequence
+        self._rob: Dict[int, Dict[int, NocPacket]] = {}  # src -> seq -> pkt
+        self._expected: Dict[int, int] = {}  # src -> next seq to release
+        self._rob_count = 0
+        self.reorder_high_watermark = 0
+        #: Packets that arrived ahead of a same-pair predecessor and had
+        #: to wait in the reorder buffer (adaptive planes only).
+        self.packets_resequenced = 0
         for queue in self.flit_queues:
             queue.wake_on_push(self)
         for queue in self._packet_queues.values():
@@ -206,15 +236,33 @@ class EjectionPort(Component):
         """VC-0 reassembler (compatibility accessor for single-VC planes)."""
         return self.reassemblers[0]
 
+    @property
+    def reorder_occupancy(self) -> int:
+        """Packets currently parked in the reorder buffer."""
+        return self._rob_count
+
     def _queue_for(self, vc: int, flit: Flit) -> SimQueue:
         head = self.reassemblers[vc]._current if not flit.is_head else flit
         assert head is not None and head.packet is not None
         return self._packet_queues[head.packet.kind]
 
     def is_idle(self) -> bool:
-        return not any(self.flit_queues)
+        if any(self.flit_queues):
+            return False
+        if self._rob_count:
+            # Quiescent only if nothing is releasable right now; a gap
+            # fill (flit-queue push) or freed queue slot (pop) wakes us.
+            for src, pending in self._rob.items():
+                packet = pending.get(self._expected.get(src, 0))
+                if packet is not None and (
+                    self._packet_queues[packet.kind].can_push()
+                ):
+                    return False
+        return True
 
     def tick(self, cycle: int) -> None:
+        if self._rob_count:
+            self._flush_reorder()
         # One flit per cycle; hold a tail until its packet queue has room
         # so backpressure propagates into the fabric at packet granularity
         # — per VC, so a full queue on one VC never stalls the others.
@@ -224,6 +272,15 @@ class EjectionPort(Component):
             if not queue:
                 continue
             flit = queue.peek()
+            if self.resequence:
+                if flit.is_tail and self._hold_tail(vc, flit):
+                    continue
+                queue.pop()
+                packet = self.reassemblers[vc].accept(flit)
+                if packet is not None:
+                    self._stage_packet(packet)
+                self._last_vc = vc
+                return
             out_queue = self._queue_for(vc, flit)
             if flit.is_tail and not out_queue.can_push():
                 continue
@@ -234,6 +291,58 @@ class EjectionPort(Component):
                 self.packets_ejected += 1
             self._last_vc = vc
             return
+
+    # ------------------------------------------------------------------ #
+    # resequencing (adaptive planes)
+    # ------------------------------------------------------------------ #
+    def _hold_tail(self, vc: int, flit: Flit) -> bool:
+        """Should this tail wait in its flit queue another cycle?
+
+        A tail completing the *next expected* packet of its pair is held
+        only while its delivery queue is full (packet-granularity
+        backpressure, as on deterministic planes).  An out-of-order tail
+        is never refused: holding it at the front of its flit queue
+        could permanently block a gap-filling packet queued behind it on
+        the same ejection VC.
+        """
+        head = self.reassemblers[vc]._current if not flit.is_head else flit
+        assert head is not None and head.packet is not None
+        packet = head.packet
+        src = packet.route_source
+        if packet.fabric_seq == self._expected.get(src, 0):
+            return not self._packet_queues[packet.kind].can_push()
+        return False
+
+    def _stage_packet(self, packet: NocPacket) -> None:
+        src = packet.route_source
+        if packet.fabric_seq != self._expected.get(src, 0):
+            self.packets_resequenced += 1
+        self._rob.setdefault(src, {})[packet.fabric_seq] = packet
+        self._rob_count += 1
+        if self._rob_count > self.reorder_high_watermark:
+            self.reorder_high_watermark = self._rob_count
+        self._flush_reorder()
+
+    def _flush_reorder(self) -> None:
+        """Release every in-order packet its delivery queue can take."""
+        for src in sorted(self._rob):
+            pending = self._rob[src]
+            expected = self._expected.get(src, 0)
+            while True:
+                packet = pending.get(expected)
+                if packet is None:
+                    break
+                out_queue = self._packet_queues[packet.kind]
+                if not out_queue.can_push():
+                    break
+                out_queue.push(packet)
+                del pending[expected]
+                self._rob_count -= 1
+                expected += 1
+                self.packets_ejected += 1
+            self._expected[src] = expected
+            if not pending:
+                del self._rob[src]
 
 
 class Network:
@@ -276,7 +385,19 @@ class Network:
         if vcs < 1:
             raise ValueError(f"{name}: vcs must be >= 1, got {vcs}")
         self.vcs = vcs
+        self.routing = routing
+        if routing == "adaptive" and vc_policy is None:
+            vc_policy = "escape"  # the natural default for adaptive fabrics
         self.vc_policy = make_vc_policy(vc_policy)
+        if routing == "adaptive" and not isinstance(
+            self.vc_policy, EscapeVcPolicy
+        ):
+            raise ValueError(
+                f"{name}: adaptive routing needs the escape VC policy "
+                f"(vc_policy='escape' or an EscapeVcPolicy instance) to "
+                f"split adaptive/escape VC classes, got "
+                f"{self.vc_policy.name!r}"
+            )
         if vcs < self.vc_policy.min_vcs:
             raise ValueError(
                 f"{name}: VC policy {self.vc_policy.name!r} needs at least "
@@ -287,7 +408,19 @@ class Network:
         self._link_feed_queues: List[SimQueue] = []
         self._validate_buffer_sizing()
 
-        tables = compute_tables(topology, routing)
+        if routing == "adaptive":
+            adaptive_tables = compute_adaptive_tables(topology)
+            tables = {r: t.escape for r, t in adaptive_tables.items()}
+        else:
+            adaptive_tables = None
+            tables = compute_tables(topology, routing)
+        # Adaptive route choice is per packet, so one (source, dest)
+        # pair's packets can arrive out of order; the transaction layer
+        # is built on per-pair FIFO delivery, so adaptive planes stamp a
+        # per-pair sequence number at injection and resequence at
+        # ejection (see EjectionPort).  Deterministic planes skip both.
+        self._sequenced = routing == "adaptive"
+        self._pair_seq: Dict[Tuple[int, int], int] = {}
 
         self.routers: Dict[Hashable, Router] = {}
         for router_id in topology.routers:
@@ -301,6 +434,11 @@ class Network:
                 lock_support=lock_support,
                 vcs=vcs,
                 vc_policy=self.vc_policy,
+                adaptive_table=(
+                    adaptive_tables[router_id]
+                    if adaptive_tables is not None
+                    else None
+                ),
             )
             if fabric_domain is not None:
                 router.set_clock_domain(fabric_domain)
@@ -390,7 +528,11 @@ class Network:
                     f"{name}.ej.{endpoint}.pkts", capacity=endpoint_queue_capacity
                 )
             eport = EjectionPort(
-                f"{name}.ej.{endpoint}", endpoint, ej_deliveries, ej_packets
+                f"{name}.ej.{endpoint}",
+                endpoint,
+                ej_deliveries,
+                ej_packets,
+                resequence=self._sequenced,
             )
             if ep_domain is not None:
                 eport.set_clock_domain(ep_domain)
@@ -524,6 +666,10 @@ class Network:
                 f"{self.topology.router_of(endpoint)!r} (and every other) "
                 f"has buffer_capacity {self.buffer_capacity}"
             )
+        if self._sequenced:
+            pair = (endpoint, packet.route_destination)
+            packet.fabric_seq = self._pair_seq.get(pair, 0)
+            self._pair_seq[pair] = packet.fabric_seq + 1
         self._inject_queues[endpoint].push(packet)
 
     def ejected(
@@ -574,6 +720,8 @@ class Network:
             for reassembler in eport.reassemblers:
                 if reassembler.mid_packet:
                     return False
+            if eport.reorder_occupancy:
+                return False
         # Physical links: flits may be staged on the feed side (a router
         # output that is no longer any router's input) or in flight on
         # the wires / in a synchronizer.
@@ -641,6 +789,16 @@ class Fabric:
         self.endpoint_domains = dict(endpoint_domains or {})
         self.vcs = vcs
         self.vc_separation = vc_separation
+        if routing == "adaptive":
+            if vc_separation:
+                raise ValueError(
+                    f"{name}: adaptive routing is not supported with "
+                    f"vc_separation (the kind-split wrapper cannot carve "
+                    f"adaptive/escape classes out of each half); use the "
+                    f"default dual-plane fabric"
+                )
+            if vc_policy is None:
+                vc_policy = "escape"
         policy = make_vc_policy(vc_policy)
         common = dict(
             mode=mode,

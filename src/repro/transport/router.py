@@ -49,7 +49,7 @@ from repro.sim.component import Component
 from repro.sim.queue import SimQueue
 from repro.transport.flit import Flit
 from repro.transport.qos import Arbiter, Candidate, PriorityArbiter
-from repro.transport.routing import VcPolicy
+from repro.transport.routing import AdaptiveRoutingTable, EscapeVcPolicy, VcPolicy
 from repro.transport.switching import SwitchingMode
 from repro.transport.topology import router_sort_key
 
@@ -74,6 +74,7 @@ class Router(Component):
         lock_support: bool = True,
         vcs: int = 1,
         vc_policy: Optional[VcPolicy] = None,
+        adaptive_table: Optional[AdaptiveRoutingTable] = None,
     ) -> None:
         super().__init__(name)
         if vcs < 1:
@@ -86,6 +87,32 @@ class Router(Component):
         self.lock_support = lock_support
         self.vcs = vcs
         self.vc_policy = vc_policy if vc_policy is not None else VcPolicy()
+        # Minimal-adaptive mode: route choice becomes a per-cycle
+        # multi-candidate allocation decision (see _allocate_adaptive);
+        # ``table`` then holds the escape (deterministic) next hops.
+        self.adaptive_table = adaptive_table
+        if adaptive_table is not None and not isinstance(
+            self.vc_policy, EscapeVcPolicy
+        ):
+            raise ValueError(
+                f"{name}: adaptive routing needs an EscapeVcPolicy to "
+                f"split adaptive/escape VC classes, got "
+                f"{self.vc_policy.name!r}"
+            )
+        if adaptive_table is not None:
+            policy = self.vc_policy
+            self._n_adaptive = policy.adaptive_vcs(vcs)
+            self._escape_on = policy.escape
+            self._escape_base_vc = policy.escape_base(vcs)
+        # Allocation hot-path caches: the escape VC of a hop is a pure
+        # function of (in port, out port, in VC) geometry; and a head that
+        # found no free candidate (with no locks involved) stays blocked
+        # until an output VC is released, so its failed scan is cached
+        # against a release/lock version stamp instead of repeated every
+        # cycle.
+        self._escape_vc_cache: Dict[Tuple[str, str, int], int] = {}
+        self._alloc_fail: Dict[VcKey, Optional[Tuple[int, Flit]]] = {}
+        self._release_version = 0
         # Buffers keyed by (port, vc); vc is always 0 when vcs == 1.
         self.inputs: Dict[VcKey, SimQueue] = {}
         self.outputs: Dict[VcKey, SimQueue] = {}
@@ -114,6 +141,10 @@ class Router(Component):
         # stats
         self.flits_forwarded = 0
         self.packets_forwarded = 0
+        #: Packets granted an adaptive-class vs escape-class output VC at
+        #: this router (adaptive routing only; ejection counts as neither).
+        self.packets_adaptive = 0
+        self.packets_escape = 0
         #: Cycles in which at least one output was lock-stalled (counted
         #: at most once per cycle; per-output detail below).
         self.lock_stall_cycles = 0
@@ -155,6 +186,7 @@ class Router(Component):
         self._input_alloc[key] = None
         self._input_head[key] = None
         self._input_age[key] = 0
+        self._alloc_fail[key] = None
         self._in_neighbor[port] = neighbor
         ckey = self._candidate_key(port, vc)
         self._ckey[key] = ckey
@@ -247,6 +279,114 @@ class Router(Component):
             )
         return out_vc
 
+    def _allocate_adaptive(
+        self, ivc: VcKey, flit: Flit, lock_stalled_ports: List[str]
+    ) -> Optional[VcKey]:
+        """Pick the least-congested admissible (output port, VC) for a head.
+
+        The candidate set is every free adaptive-class VC of every output
+        in the packet's *minimal* set, plus the escape VC of the
+        deterministic (DOR/XY) output.  Candidates are scored by
+        downstream free space — credit/buffer slots left in the output
+        queue, which on a serialized link is the credit-backed staging
+        buffer — and the best strictly-greater score wins; ties keep the
+        earliest candidate, and candidates are enumerated in canonical
+        ``router_sort_key`` port order with VCs ascending and the escape
+        candidate last, so selection is deterministic and
+        cycle-reproducible.  Returns ``None`` when nothing is admissible
+        this cycle (the head retries, still requesting escape — that
+        retry loop is what the deadlock-freedom argument leans on).
+
+        Constraints preserving the rest of the transport contract:
+
+        - a packet whose input VC is escape-class stays on the escape
+          subnetwork (its dependency graph must remain acyclic);
+        - LOCK-family packets route escape-only, so a LOCK and its
+          paired UNLOCK traverse the *same* ports and the per-port lock
+          state they set and clear stays matched;
+        - lock admission applies per candidate port: a head refused one
+          locked port may still route around via another minimal output,
+          and only a head with no admissible candidate at all (with at
+          least one lock refusal) counts as lock-stalled.
+        """
+        table = self.adaptive_table
+        in_port, in_vc = ivc
+        src = flit.src
+        lock_support = self.lock_support
+        output_lock = self._output_lock
+        output_owner = self._output_owner
+        escape_on = self._escape_on
+        escape_base = self._escape_base_vc
+        ports = table.outputs(flit.dest)
+        # Ejection at the home router: single local port, keep the class.
+        if ports[0][0] == "l":  # "local:..."
+            port = ports[0]
+            if lock_support:
+                holder = output_lock[port]
+                if holder is not None and holder != src:
+                    lock_stalled_ports.append(port)
+                    return None
+            okey = (port, in_vc)
+            if output_owner[okey] is None:
+                return okey
+            self._alloc_fail[ivc] = (self._release_version, flit)
+            return None
+        refused: List[str] = []
+        best: Optional[VcKey] = None
+        best_free = -1
+        from_escape = escape_on and in_vc >= escape_base
+        if not (from_escape or (escape_on and flit.lock_related)):
+            for port in ports:
+                if lock_support:
+                    holder = output_lock[port]
+                    if holder is not None and holder != src:
+                        refused.append(port)
+                        continue
+                for vc in range(self._n_adaptive):
+                    okey = (port, vc)
+                    if output_owner[okey] is not None:
+                        continue
+                    free = self._downstream_free(okey)
+                    if free > best_free:
+                        best, best_free = okey, free
+        if escape_on:
+            eport = table.escape_port(flit.dest)
+            holder = output_lock[eport] if lock_support else None
+            if holder is not None and holder != src:
+                if eport not in refused:
+                    refused.append(eport)
+            else:
+                cache_key = (in_port, eport, in_vc)
+                evc = self._escape_vc_cache.get(cache_key)
+                if evc is None:
+                    evc = self.vc_policy.escape_output_vc(
+                        self.router_id,
+                        self._in_neighbor.get(in_port),
+                        self._out_neighbor[eport],
+                        in_vc,
+                        self.vcs,
+                    )
+                    self._escape_vc_cache[cache_key] = evc
+                okey = (eport, evc)
+                if output_owner[okey] is None:
+                    free = self._downstream_free(okey)
+                    if free > best_free:
+                        best, best_free = okey, free
+        if best is None:
+            if refused:
+                lock_stalled_ports.extend(refused)
+            else:
+                # Nothing free and no lock involved: the outcome cannot
+                # change until an output VC is released (or a lock
+                # changes), so skip rescans until the version bumps.
+                self._alloc_fail[ivc] = (self._release_version, flit)
+            return None
+        if escape_on and best[1] >= escape_base:
+            self.packets_escape += 1
+        else:
+            self.packets_adaptive += 1
+        return best
+
     # ------------------------------------------------------------------ #
     # the cycle
     # ------------------------------------------------------------------ #
@@ -273,7 +413,7 @@ class Router(Component):
                 break
         if not busy:
             return
-        if self.vcs > 1:
+        if self.vcs > 1 or self.adaptive_table is not None:
             self._tick_vc(cycle)
             return
         input_alloc = self._input_alloc
@@ -414,15 +554,23 @@ class Router(Component):
         # blocked packet hoard the VC and stall the holder's own UNLOCK
         # forever.  Once granted, a stream always completes (a packet
         # admitted before the lock was set behaves as having entered the
-        # locked path first, exactly like the single-VC switch).
+        # locked path first, exactly like the single-VC switch).  The
+        # admission window is one cycle wide: allocation (this phase)
+        # reads the lock state *before* the transfers of the same cycle,
+        # so a head VC-allocated in the very cycle a LOCK tail passes is
+        # treated as having entered the locked path first — deterministic,
+        # and pinned by tests/test_adaptive_routing.py.
         # Phase A folded in: every allocated input VC with a flit at the
         # front and room downstream becomes a switch-allocation request.
         wants: Dict[str, List[VcKey]] = {}  # physical out port -> input VCs
         lock_stalled_ports: List[str] = []
+        busy_ivcs: List[VcKey] = []  # input VCs with flits buffered
+        adaptive = self.adaptive_table
         for ivc, queue in sorted_inputs:
             committed = queue._committed
             if not committed:
                 continue
+            busy_ivcs.append(ivc)
             flit = committed[0]
             alloc = input_alloc[ivc]
             if alloc is None:
@@ -431,15 +579,29 @@ class Router(Component):
                         f"{self.name}:{ivc[0]}:vc{ivc[1]}: body flit {flit!r} "
                         f"at front with no allocation (framing bug)"
                     )
-                out_port = self._route(flit.dest)
-                if lock_support:
-                    holder = output_lock[out_port]
-                    if holder is not None and holder != flit.src:
-                        lock_stalled_ports.append(out_port)
-                        continue  # admission refused until UNLOCK passes
-                okey = (out_port, self._output_vc_for(ivc, out_port))
-                if output_owner[okey] is not None:
-                    continue  # output VC busy; retry next cycle
+                if adaptive is not None:
+                    cached = self._alloc_fail[ivc]
+                    if (
+                        cached is not None
+                        and cached[0] == self._release_version
+                        and cached[1] is flit
+                    ):
+                        continue  # still blocked: nothing freed since
+                    okey = self._allocate_adaptive(
+                        ivc, flit, lock_stalled_ports
+                    )
+                    if okey is None:
+                        continue  # no admissible candidate; retry next cycle
+                else:
+                    out_port = self._route(flit.dest)
+                    if lock_support:
+                        holder = output_lock[out_port]
+                        if holder is not None and holder != flit.src:
+                            lock_stalled_ports.append(out_port)
+                            continue  # admission refused until UNLOCK passes
+                    okey = (out_port, self._output_vc_for(ivc, out_port))
+                    if output_owner[okey] is not None:
+                        continue  # output VC busy; retry next cycle
                 output_owner[okey] = ivc
                 input_alloc[ivc] = okey
                 input_head[ivc] = flit
@@ -492,12 +654,17 @@ class Router(Component):
             sent_ivcs.append(ivc)
             used_input_ports.add(ivc[0])
 
-        # Phase C: age input VCs that waited with flits buffered.
-        for ivc, queue in sorted_inputs:
-            if queue._committed and ivc not in sent_ivcs:
-                input_age[ivc] += 1
-            else:
+        # Phase C: age input VCs that waited with flits buffered.  Only
+        # the VCs seen non-empty in Phase V need touching: an input can
+        # only drain through our own transfers (committed items grow at
+        # the kernel's post-tick commit), so an empty input's age is
+        # already 0 — either it was empty last cycle too, or its last
+        # flit left via a transfer that reset the age below.
+        for ivc in busy_ivcs:
+            if ivc in sent_ivcs:
                 input_age[ivc] = 0
+            else:
+                input_age[ivc] += 1
 
     def _transfer(self, ivc: VcKey, okey: VcKey, cycle: int) -> None:
         out_port, out_vc = okey
@@ -535,6 +702,7 @@ class Router(Component):
             self._input_alloc[ivc] = None
             self._output_owner[okey] = None
             self._input_head[ivc] = None
+            self._release_version += 1  # a freed VC invalidates fail caches
             self.packets_forwarded += 1
             if self.lock_support and head.lock_related and head.packet is not None:
                 self._update_lock(out_port, head, cycle)
@@ -546,12 +714,14 @@ class Router(Component):
             return
         if packet.opcode in _LOCK_SETTERS:
             self._output_lock[out_port] = head.src
+            self._release_version += 1
             self.simulator.trace.log(
                 cycle, self.name, "lock_set", port=out_port, master=head.src
             )
         elif packet.opcode in _LOCK_CLEARERS:
             if self._output_lock[out_port] == head.src:
                 self._output_lock[out_port] = None
+                self._release_version += 1
                 self.simulator.trace.log(
                     cycle, self.name, "lock_clear", port=out_port, master=head.src
                 )

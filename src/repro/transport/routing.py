@@ -1,6 +1,6 @@
 """Deterministic routing and virtual-channel selection policies.
 
-Three routing schemes:
+Four routing schemes:
 
 - **table routing** — per-router lookup tables computed from BFS shortest
   paths with canonical tie-breaking (deterministic across runs);
@@ -10,7 +10,14 @@ Three routing schemes:
   rings (integer ids) and tori (tuple ids): each dimension is traversed
   the shortest way around its ring (ties towards the positive
   direction), X before Y.  Minimal and deterministic; combined with the
-  dateline VC policy below it is provably deadlock-free with 2 VCs.
+  dateline VC policy below it is provably deadlock-free with 2 VCs;
+- **adaptive routing** — Duato-style minimal-adaptive: every hop may
+  forward on *any* output of the minimal set (any neighbour strictly
+  closer to the destination), chosen per cycle by downstream congestion,
+  while a reserved *escape* VC pair falls back to the deterministic
+  scheme (DOR with dateline classes on rings/tori, XY on meshes).  See
+  :class:`AdaptiveRoutingTable` / :class:`EscapeVcPolicy` and the
+  deadlock argument below.
 
 Port naming convention (shared with :mod:`repro.transport.router`):
 ``to:<router>`` for an inter-router link towards ``<router>`` and
@@ -196,7 +203,7 @@ def compute_dor_tables(topology: Topology) -> Dict[RouterId, Dict[int, str]]:
     return tables
 
 
-ROUTING_SCHEMES = ("table", "xy", "dor")
+ROUTING_SCHEMES = ("table", "xy", "dor", "adaptive")
 
 
 def compute_tables(
@@ -209,9 +216,95 @@ def compute_tables(
         return compute_xy_tables(topology)
     if scheme == "dor":
         return compute_dor_tables(topology)
+    if scheme == "adaptive":
+        raise ValueError(
+            "adaptive routing has multi-output tables; "
+            "use compute_adaptive_tables()"
+        )
     raise ValueError(
         f"unknown routing scheme {scheme!r}; known: {ROUTING_SCHEMES}"
     )
+
+
+# ---------------------------------------------------------------------- #
+# minimal-adaptive routing with escape VCs
+# ---------------------------------------------------------------------- #
+class AdaptiveRoutingTable:
+    """One router's multi-output route lookup for minimal-adaptive routing.
+
+    ``candidates[endpoint]`` is the tuple of output ports that keep the
+    route minimal (canonical order — this is the deterministic tie-break
+    order of congestion-equal choices), and ``escape[endpoint]`` the
+    single output of the deterministic escape scheme (DOR on rings/tori,
+    XY on meshes, BFS tables elsewhere).  The escape port is always a
+    member of the candidate set (both schemes are minimal).  At the home
+    router both collapse to the ejection port.
+    """
+
+    __slots__ = ("candidates", "escape")
+
+    def __init__(
+        self,
+        candidates: Dict[int, Tuple[str, ...]],
+        escape: Dict[int, str],
+    ) -> None:
+        self.candidates = candidates
+        self.escape = escape
+
+    def outputs(self, dest: int) -> Tuple[str, ...]:
+        try:
+            return self.candidates[dest]
+        except KeyError:
+            raise KeyError(
+                f"no adaptive route to endpoint {dest} "
+                f"(table has {sorted(self.candidates)})"
+            ) from None
+
+    def escape_port(self, dest: int) -> str:
+        return self.escape[dest]
+
+
+def compute_adaptive_tables(
+    topology: Topology,
+) -> Dict[RouterId, AdaptiveRoutingTable]:
+    """Minimal output sets + deterministic escape tables per router.
+
+    The candidate sets come from BFS distances (on a mesh/torus that is
+    exactly the minimal quadrant, at most one neighbour per dimension
+    with a non-zero offset); the escape table is the strongest
+    deterministic scheme the topology supports: DOR where the wraparound
+    links exist, XY on plain meshes, canonical BFS tables for arbitrary
+    graphs (deadlock freedom of the escape subnetwork is only *argued*
+    for ring/torus — with dateline classes — and mesh; see
+    :class:`EscapeVcPolicy`).
+    """
+    escape_tables: Optional[Dict[RouterId, Dict[int, str]]] = None
+    for scheme in ("dor", "xy", "table"):
+        try:
+            escape_tables = compute_tables(topology, scheme)
+            break
+        except (RoutingError, TypeError):
+            # TypeError: DOR/XY arithmetic on non-numeric router ids
+            # (topo.custom allows arbitrary hashables) — fall through to
+            # the next scheme, ending at BFS tables which accept any id.
+            continue
+    assert escape_tables is not None  # "table" never raises RoutingError
+    tables: Dict[RouterId, AdaptiveRoutingTable] = {}
+    for router in topology.routers:
+        candidates: Dict[int, Tuple[str, ...]] = {}
+        for endpoint in topology.endpoints:
+            home = topology.router_of(endpoint)
+            if router == home:
+                candidates[endpoint] = (port_local(endpoint),)
+            else:
+                candidates[endpoint] = tuple(
+                    port_to(n)
+                    for n in topology.minimal_neighbors(router, home)
+                )
+        tables[router] = AdaptiveRoutingTable(
+            candidates, escape_tables[router]
+        )
+    return tables
 
 
 # ---------------------------------------------------------------------- #
@@ -314,8 +407,117 @@ class DatelineVcPolicy(VcPolicy):
         return min(in_vc, 1)
 
 
+class EscapeVcPolicy(VcPolicy):
+    """VC split for minimal-adaptive routing (Duato's methodology).
+
+    The VC space of a plane is divided into two classes:
+
+    - **adaptive VCs** ``0 .. vcs - 3``: a head flit may acquire any
+      adaptive VC of any output in its *minimal* set, chosen per cycle
+      by downstream congestion.  No ordering discipline applies, so
+      these channels may form cyclic dependencies under load;
+    - **escape VCs** ``vcs - 2, vcs - 1``: the top two VCs are reserved
+      for the deterministic escape subnetwork — DOR routing with the
+      dateline construction mapped onto the pair (class 0 before the
+      wraparound crossing, class 1 after).  A packet that enters the
+      escape class stays on it (DOR from wherever it is) until ejection.
+
+    **Deadlock-freedom argument.**  The escape subnetwork on its own is
+    the PR 3 construction: DOR keeps inter-dimension dependencies
+    acyclic and the dateline pair breaks each ring's wrap cycle, so the
+    escape channel dependency graph is acyclic and always drains (a
+    packet joining escape mid-route still crosses each dimension's
+    dateline at most once — minimal routing never wraps a ring twice —
+    so the strictly-increasing channel-order argument is unchanged).
+    Every head flit blocked on adaptive VCs *also* requests its escape
+    VC each cycle, and escape admission only waits on escape-network
+    state; since escape drains, every waiting head is eventually
+    granted, so the whole fabric is deadlock-free however tangled the
+    adaptive-class dependencies get.  ``EscapeVcPolicy(escape=False)``
+    removes the escape class (pure minimal-adaptive) — the configuration
+    the adversarial tests freeze — to demonstrate that the escape VCs,
+    not luck, provide the guarantee.
+
+    Injection maps priority classes onto the adaptive VCs (as
+    :class:`PriorityVcPolicy` does over the whole space), keeping QoS
+    isolation inside the adaptive class.
+    """
+
+    name = "escape"
+    min_vcs = 3
+    escape_vcs = 2
+
+    def __init__(self, escape: bool = True) -> None:
+        self.escape = escape
+        if not escape:
+            self.min_vcs = 1
+            self.escape_vcs = 0
+
+    def adaptive_vcs(self, vcs: int) -> int:
+        """Number of adaptive-class VCs on a plane with ``vcs`` total."""
+        return vcs - self.escape_vcs
+
+    def escape_base(self, vcs: int) -> int:
+        return vcs - self.escape_vcs
+
+    def is_escape_vc(self, vc: int, vcs: int) -> bool:
+        return self.escape and vc >= vcs - self.escape_vcs
+
+    def injection_vc(self, packet, vcs: int) -> int:
+        return max(0, min(packet.priority, self.adaptive_vcs(vcs) - 1))
+
+    def escape_output_vc(
+        self,
+        router: RouterId,
+        prev_router: Optional[RouterId],
+        next_router: RouterId,
+        in_vc: int,
+        vcs: int,
+    ) -> int:
+        """Escape-class VC for the hop ``router -> next_router``.
+
+        Dateline classes within the escape pair: promotion on the
+        wraparound edge, reset on a dimension change, and a packet
+        transitioning in from an adaptive VC enters at class 0 (its
+        remaining DOR path crosses each remaining dateline at most
+        once, which is all the argument needs).
+        """
+        base = self.escape_base(vcs)
+        was_escape = in_vc >= base
+        try:
+            if DatelineVcPolicy._crosses_dateline(router, next_router):
+                cls = 1
+            elif not was_escape or prev_router is None:
+                cls = 0
+            elif DatelineVcPolicy._hop_dim(
+                prev_router, router
+            ) != DatelineVcPolicy._hop_dim(router, next_router):
+                cls = 0  # entering a fresh dimension ring
+            else:
+                cls = min(in_vc - base, 1)
+        except TypeError:
+            # Non-numeric router ids (arbitrary topo.custom graphs) have
+            # no ring geometry and hence no datelines to cross.
+            cls = 0
+        return base + cls
+
+    def output_vc(
+        self,
+        router: RouterId,
+        prev_router: Optional[RouterId],
+        next_router: Optional[RouterId],
+        in_vc: int,
+        vcs: int,
+    ) -> int:
+        # Only meaningful on an adaptive router, whose VC-allocation
+        # stage enumerates (output, VC) candidates itself; ejection (the
+        # one case routed through the generic hook) keeps the class.
+        return in_vc
+
+
 VC_POLICIES = {
-    cls.name: cls for cls in (VcPolicy, PriorityVcPolicy, DatelineVcPolicy)
+    cls.name: cls
+    for cls in (VcPolicy, PriorityVcPolicy, DatelineVcPolicy, EscapeVcPolicy)
 }
 
 

@@ -64,6 +64,11 @@ class Topology:
             self._router_endpoints.setdefault(
                 self.endpoint_router[endpoint], []
             ).append(endpoint)
+        # BFS distance maps keyed by destination router, computed lazily
+        # and cached: adaptive routing asks for the minimal-neighbour set
+        # of every (router, destination) pair, which would be O(V * E)
+        # BFS runs without the cache.
+        self._dist_maps: Dict[RouterId, Dict[RouterId, int]] = {}
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -88,6 +93,34 @@ class Topology:
             return self.endpoint_router[endpoint]
         except KeyError:
             raise KeyError(f"unknown endpoint {endpoint}") from None
+
+    def distances_to(self, dest_router: RouterId) -> Dict[RouterId, int]:
+        """BFS hop distances from every router to ``dest_router`` (cached)."""
+        dist = self._dist_maps.get(dest_router)
+        if dist is None:
+            dist = nx.single_source_shortest_path_length(self.graph, dest_router)
+            self._dist_maps[dest_router] = dist
+        return dist
+
+    def minimal_neighbors(
+        self, router: RouterId, dest_router: RouterId
+    ) -> List[RouterId]:
+        """Neighbours of ``router`` strictly closer to ``dest_router``.
+
+        This is the *minimal output set* of adaptive routing: forwarding
+        to any of these neighbours keeps the path shortest.  On a mesh or
+        torus it is exactly the minimal quadrant (at most one neighbour
+        per dimension with a non-zero offset, both ring directions when a
+        torus offset is an even split).  Returned in canonical
+        :func:`router_sort_key` order so table construction — and hence
+        arbitration tie-breaking — is reproducible.
+        """
+        dist = self.distances_to(dest_router)
+        here = dist[router]
+        return sorted(
+            (n for n in self.graph.neighbors(router) if dist[n] < here),
+            key=router_sort_key,
+        )
 
     def hop_distance(self, src_endpoint: int, dst_endpoint: int) -> int:
         """Router hops between two endpoints (0 if they share a router)."""

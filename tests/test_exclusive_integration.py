@@ -4,7 +4,6 @@ Lock-based (blocking) and exclusive-based (non-blocking) critical
 sections both work; locks block unrelated traffic, exclusives don't.
 """
 
-import pytest
 
 from repro.core.transaction import make_read
 from repro.ip.masters import sync_workload

@@ -13,7 +13,6 @@ on every run:
   attributable to some master's write data.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -208,6 +208,60 @@ def build_vc_gals_soc(strict):
     return builder.build()
 
 
+def build_adaptive_gals_soc(strict):
+    """Adaptive routing + escape VCs + GALS + serialized links: minimal-
+    adaptive route choice is a per-cycle congestion-scored allocation
+    decision, so this pins that the decision stream — and the per-pair
+    resequencing at ejection — is byte-identical between kernels."""
+    _reset_ids()
+    ranges = [(0, 0x2000), (0x2000, 0x2000)]
+    builder = SocBuilder(
+        trace=Tracer(enabled=True),
+        strict_kernel=strict,
+        topology=topo.torus(3, 3, endpoints=5),
+        routing="adaptive",
+        vcs=4,
+        links={
+            "router": LinkSpec(phit_bits=48, pipeline_latency=1),
+            "endpoint": LinkSpec(phit_bits=96, sync_stages=3),
+        },
+        clock_domains={"cpu": 2, "io": (3, 1), "fab": 1},
+        fabric_region="fab",
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "cpu_ahb", "AHB",
+            cpu_workload("cpu_ahb", ranges, count=15, seed=1),
+            region="cpu",
+        )
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "gpu_axi", "AXI",
+            random_workload(
+                "gpu_axi", ranges, count=15, seed=2, tags=4, rate=0.3,
+                burst_beats=(1, 4),
+            ),
+            protocol_kwargs={"id_count": 4},
+        )
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "acc_msg", "PROPRIETARY",
+            dma_workload("acc_msg", base=0x1000, bytes_total=128),
+        )
+    )
+    builder.add_target(
+        TargetSpec("dram", size=0x2000, read_latency=6, write_latency=3,
+                   region="io")
+    )
+    builder.add_target(
+        TargetSpec("sram", size=0x2000, read_latency=2, write_latency=1,
+                   region="cpu")
+    )
+    return builder.build()
+
+
 def fingerprint(soc, cycles):
     soc.run(cycles)
     sim = soc.sim
@@ -220,13 +274,22 @@ def fingerprint(soc, cycles):
         for name, m in soc.masters.items()
     }
     routers = {}
+    eports = {}
     for plane in (soc.fabric.request_plane, soc.fabric.response_plane):
         for router in plane.routers.values():
             routers[router.name] = (
                 router.flits_forwarded,
                 router.packets_forwarded,
                 router.lock_stall_cycles,
+                router.packets_adaptive,
+                router.packets_escape,
                 dict(router.output_busy_cycles),
+            )
+        for eport in plane.ejection_ports.values():
+            eports[eport.name] = (
+                eport.packets_ejected,
+                eport.packets_resequenced,
+                eport.reorder_high_watermark,
             )
     nius = {
         name: (niu.requests_sent, niu.responses_delivered, niu.stall_cycles)
@@ -241,6 +304,7 @@ def fingerprint(soc, cycles):
         "queues": queues,
         "masters": masters,
         "routers": routers,
+        "ejection_ports": eports,
         "initiator_nius": nius,
         "target_nius": tnius,
         "latencies": latencies,
@@ -258,12 +322,14 @@ def fingerprint(soc, cycles):
         (build_lock_soc, 3000),
         (build_gals_soc, 5000),
         (build_vc_gals_soc, 5000),
+        (build_adaptive_gals_soc, 5000),
     ],
     ids=[
         "mixed-protocols",
         "legacy-lock",
         "gals-serialized-links",
         "vc-dateline-gals",
+        "adaptive-escape-gals",
     ],
 )
 def test_activity_kernel_matches_reference(build, cycles):
@@ -309,6 +375,21 @@ def test_vc_gals_soc_drains_and_retires():
     for link in soc.fabric.physical_links:
         for credit in link.credits:
             assert credit.available == credit.capacity
+    soc.run(16)
+    assert soc.sim.active_count == 0
+
+
+def test_adaptive_soc_drains_and_retires():
+    """Adaptive fabrics obey the wake protocol: congestion-scored VC
+    allocation, escape-network fallbacks and the ejection resequencing
+    buffers all go quiet, and the drained SoC leaves the schedule."""
+    soc = build_adaptive_gals_soc(strict=False)
+    soc.run_to_completion(max_cycles=400_000)
+    assert all(m.finished() for m in soc.masters.values())
+    assert soc.ordering_violations() == 0
+    for plane in soc.fabric._planes:
+        for eport in plane.ejection_ports.values():
+            assert eport.reorder_occupancy == 0
     soc.run(16)
     assert soc.sim.active_count == 0
 

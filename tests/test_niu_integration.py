@@ -9,7 +9,6 @@ import pytest
 
 from repro.core.transaction import (
     Opcode,
-    ResponseStatus,
     Transaction,
     make_read,
     make_write,

@@ -1,6 +1,5 @@
 """Unit + property tests for the three ordering models and the checker."""
 
-import random
 
 import pytest
 from hypothesis import given

@@ -297,7 +297,6 @@ class TestCdcFifo:
             fifo.pop()
 
     def test_bad_params(self):
-        sim = Simulator()
         with pytest.raises(ValueError):
             CdcFifo("x", ClockDomain("a"), ClockDomain("b"), capacity=0)
         with pytest.raises(ValueError):

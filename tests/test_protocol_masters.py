@@ -7,7 +7,7 @@ exercised without the fabric.
 
 import pytest
 
-from repro.core.transaction import Opcode, ResponseStatus, make_read, make_write
+from repro.core.transaction import Opcode, make_read, make_write
 from repro.ip.traffic import ScriptedTraffic
 from repro.protocols.ahb import AhbMaster, AhbRequest, AhbResponse, HBurst, HResp, hburst_for
 from repro.protocols.axi import AxiB, AxiMaster, AxiR, AxLock, XResp

@@ -177,7 +177,8 @@ class TestPriorityArbitration:
                 )
             return len(done[1]) >= 15 and len(done[2]) >= 15
         sim.run_until(pump, max_cycles=20_000)
-        mean = lambda xs: sum(xs) / len(xs)
+        def mean(xs):
+            return sum(xs) / len(xs)
         assert mean(done[2]) < mean(done[1])
 
 

@@ -1,6 +1,5 @@
 """Unit tests for memory targets and the byte store."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ from repro.ip.masters import cpu_workload, dma_workload, random_workload
 from repro.ip.traffic import ScriptedTraffic
 from repro.soc import InitiatorSpec, LinkSpec, SocBuilder, TargetSpec
 from repro.transport import topology as topo
-from repro.transport.switching import SwitchingMode
 
 
 def mixed_specs(count=25):

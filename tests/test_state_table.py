@@ -73,7 +73,7 @@ class TestResponseMatching:
 
     def test_txn_id_hint_detects_fabric_reorder(self):
         t = StateTable("t", capacity=4)
-        a = alloc(t, tag=1, slv=2)
+        alloc(t, tag=1, slv=2)
         b = alloc(t, tag=1, slv=2)
         with pytest.raises(AssertionError):
             t.match_response(1, 2, txn_id_hint=b.txn_id)
@@ -100,7 +100,7 @@ class TestDeliverableOrdering:
 
     def test_streams_deliver_independently(self):
         t = StateTable("t", capacity=4)
-        a = alloc(t, stream=(0,))
+        alloc(t, stream=(0,))
         b = alloc(t, stream=(1,))
         t.mark_responded(b.txn_id, ResponseStatus.OKAY, None)
         assert [e.txn_id for e in t.deliverable()] == [b.txn_id]
