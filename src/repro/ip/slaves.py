@@ -90,6 +90,20 @@ class MemoryDevice(Component):
     def is_idle(self) -> bool:
         return not self._pipeline and not self.socket.requests
 
+    _next_event_known = True
+
+    def next_event_cycle(self, now: int):
+        """A request at the socket needs a tick now; otherwise the next
+        event is the oldest pipeline entry's maturation cycle — or a
+        wake, when the response channel is full (pop-registered) or the
+        device is empty (push-registered)."""
+        if self.socket.requests._committed:
+            return now
+        if self._pipeline and self.socket.responses.can_push():
+            ready = self._pipeline[0][0]
+            return ready if ready > now else now
+        return None
+
     # ------------------------------------------------------------------ #
     # storage helpers (also used directly by tests)
     # ------------------------------------------------------------------ #
@@ -116,7 +130,7 @@ class MemoryDevice(Component):
             __, response = self._pipeline.popleft()
             self.socket.responses.push(response)
         # Accept one new request per cycle.
-        if not self.socket.requests:
+        if not self.socket.requests._committed:
             return
         request: SlaveRequest = self.socket.requests.pop()
         span = request.beats * request.beat_bytes

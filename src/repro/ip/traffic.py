@@ -8,6 +8,28 @@ exclusive-access failures), ``done()`` signals exhaustion.
 All randomness is seeded ``random.Random`` — identical runs reproduce
 identical intent streams, which the layer-independence experiment (E5)
 relies on.
+
+Lookahead protocol (time-skipping kernel)
+-----------------------------------------
+Sources may additionally implement ``lookahead(cycle)`` so the master
+that polls them can tell the kernel when its next poll could possibly
+succeed (see :meth:`repro.sim.component.Component.next_event_cycle`).
+The return value is one of:
+
+- ``None`` — dormant: no future poll can return an intent until an
+  external event (``notify_complete``) re-arms the source;
+- ``("at", t)`` — the earliest *kernel cycle* a poll could return an
+  intent (polls before ``t`` return None without consuming randomness);
+- ``("polls", k)`` — the intent will be returned by the ``k``-th future
+  poll.  Used by Bernoulli sources: the per-poll rate draws for the next
+  ``k`` polls are performed eagerly (preserving the exact ``rng`` stream
+  a poll-every-cycle run consumes) and the generated intent is *armed*;
+  the intervening polls consume no randomness and the ``k``-th returns
+  the armed intent — byte-identical to never having looked ahead.
+
+``lookahead`` never changes what ``poll`` returns at any cycle; it only
+precomputes it.  Sources without the method simply disable skipping for
+their master.
 """
 
 from __future__ import annotations
@@ -38,6 +60,11 @@ class ScriptedTraffic:
         txn = self._intents[self._next]
         self._next += 1
         return txn
+
+    def lookahead(self, cycle: int):
+        if self._next >= len(self._intents):
+            return None  # exhausted: dormant forever
+        return ("at", cycle)  # always ready while intents remain
 
     def done(self) -> bool:
         return self._next >= len(self._intents)
@@ -99,6 +126,9 @@ class PoissonTraffic:
         self.posted_writes = posted_writes
         self.completions: List[Tuple[int, int, ResponseStatus]] = []
         self._armed: Optional[Transaction] = None
+        # True when lookahead() already consumed the successful rate draw
+        # for the next poll; that poll skips its own draw and generates.
+        self._predrawn = False
 
     def _generate(self) -> Transaction:
         base, size = self.rng.choice(self.address_ranges)
@@ -134,7 +164,9 @@ class PoissonTraffic:
         if self.remaining <= 0:
             return None
         if self._armed is None:
-            if self.rng.random() >= self.rate:
+            if self._predrawn:
+                self._predrawn = False  # lookahead already drew the success
+            elif self.rng.random() >= self.rate:
                 return None
             self._armed = self._generate()
         txn = self._armed
@@ -142,8 +174,35 @@ class PoissonTraffic:
         self.remaining -= 1
         return txn
 
+    def lookahead(self, cycle: int):
+        """Draw the Bernoulli sequence for the coming polls eagerly.
+
+        Performs exactly the rate draws a poll-per-cycle run would
+        perform — one per future poll, stopping at the first success —
+        so the rng stream is byte-identical to never skipping.  Only the
+        rate draws are consumed here: the intent itself (whose
+        construction draws more randomness *and* allocates the global
+        transaction id) is generated by the winning poll, at the same
+        cycle and in the same cross-master order as a poll-every-cycle
+        run.  The master must not call :meth:`poll` again until the
+        returned number of polls have notionally elapsed (it converts
+        the count to an absolute cycle; see
+        ``ProtocolMaster.next_event_cycle``).
+        """
+        if self.remaining <= 0:
+            return None  # dormant: remaining never grows back
+        if self._armed is not None or self._predrawn:
+            return ("polls", 1)  # success already in hand
+        polls = 1
+        rng_random = self.rng.random
+        rate = self.rate
+        while rng_random() >= rate:
+            polls += 1
+        self._predrawn = True
+        return ("polls", polls)
+
     def done(self) -> bool:
-        return self.remaining <= 0 and self._armed is None
+        return self.remaining <= 0 and self._armed is None and not self._predrawn
 
     def notify_complete(
         self, txn_id: int, cycle: int, status: ResponseStatus
@@ -193,6 +252,11 @@ class DependentTraffic:
         self.remaining -= 1
         self._waiting = True
         return txn
+
+    def lookahead(self, cycle: int):
+        if self.remaining <= 0 or self._waiting:
+            return None  # dormant until notify_complete re-arms us
+        return ("at", max(cycle, self._ready_at))  # think window
 
     def done(self) -> bool:
         return self.remaining <= 0 and not self._waiting
@@ -258,6 +322,11 @@ class StreamTraffic:
         self.bursts_remaining -= 1
         self._ready_at = cycle + self.gap_cycles
         return txn
+
+    def lookahead(self, cycle: int):
+        if self.bursts_remaining <= 0:
+            return None
+        return ("at", max(cycle, self._ready_at))
 
     def done(self) -> bool:
         return self.bursts_remaining <= 0
@@ -357,6 +426,13 @@ class SyncWorkload:
         txn = self._intent()
         self._inflight_id = txn.txn_id
         return txn
+
+    def lookahead(self, cycle: int):
+        if self.iterations_left <= 0 or self._inflight_id is not None:
+            return None  # dormant: only a completion advances the FSM
+        if self._state in ("locking", "excl_load", "excl_store_wait", "releasing"):
+            return None
+        return ("at", cycle)  # an intent is ready right now
 
     def done(self) -> bool:
         return self.iterations_left <= 0

@@ -64,11 +64,14 @@ class AhbInitiatorNiu(InitiatorNiu):
 
     def peek_native(self, cycle: int) -> Optional[Transaction]:
         channel = self.socket.req("req")
-        if not channel:
+        if not channel._committed:
             return None
         request: AhbRequest = channel.peek()
+        if request is self._peek_key:
+            return self._peek_txn
         sideband = request.txn
-        return Transaction(
+        self._peek_key = request
+        self._peek_txn = Transaction(
             opcode=_opcode_from(request),
             address=request.haddr,
             beats=request.beats,
@@ -79,6 +82,7 @@ class AhbInitiatorNiu(InitiatorNiu):
             priority=sideband.priority if sideband else 0,
             txn_id=sideband.txn_id if sideband else -1,
         )
+        return self._peek_txn
 
     def pop_native(self) -> None:
         self.socket.req("req").pop()

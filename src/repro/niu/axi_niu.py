@@ -106,12 +106,17 @@ class AxiInitiatorNiu(InitiatorNiu):
         order = ["ar", "aw"] if self._prefer_read else ["aw", "ar"]
         for channel_name in order:
             channel = ar if channel_name == "ar" else aw
-            if channel:
+            if channel._committed:
                 self._peeked_channel = channel_name
                 record = channel.peek()
+                if record is self._peek_key:
+                    return self._peek_txn
+                self._peek_key = record
                 if channel_name == "ar":
-                    return self._convert_ar(record)
-                return self._convert_aw(record)
+                    self._peek_txn = self._convert_ar(record)
+                else:
+                    self._peek_txn = self._convert_aw(record)
+                return self._peek_txn
         self._peeked_channel = None
         return None
 

@@ -78,6 +78,12 @@ class InitiatorNiu(Component):
         self._rsp_packets = fabric.responses(endpoint)
         self._rsp_packets.wake_on_push(self)
         self._native_req_queues: Tuple[SimQueue, ...] = ()
+        # peek_native decode cache: a blocked head request is re-peeked
+        # every cycle, and native records are immutable once pushed, so
+        # subclasses memoize the decoded Transaction by record identity
+        # (the cache holds a strong reference, so `is` stays sound).
+        self._peek_key = None
+        self._peek_txn: Optional[Transaction] = None
 
     def _attach_socket(self, socket) -> None:
         """Store the master socket and register activity wakes.
@@ -105,6 +111,24 @@ class InitiatorNiu(Component):
                 return False
         return True
 
+    _next_event_known = True
+
+    def next_event_cycle(self, now: int):
+        """Dormant while merely *waiting*: outstanding table entries with
+        no arrived response, nothing deliverable and no native request
+        make every tick a no-op.  All three re-arming events wake us —
+        a response packet push, a native request push, and a freed
+        native response slot (registered in __init__/_attach_socket) —
+        so the kernel may park the engine until one fires."""
+        if not self._native_req_queues:
+            return now  # no socket attached: cannot prove dormancy
+        if self._rsp_packets or self.table.has_responded:
+            return now
+        for queue in self._native_req_queues:
+            if queue._committed:
+                return now
+        return None
+
     # ------------------------------------------------------------------ #
     # subclass interface
     # ------------------------------------------------------------------ #
@@ -123,13 +147,16 @@ class InitiatorNiu(Component):
     def tick(self, cycle: int) -> None:
         self._accept_responses(cycle)
         self._deliver_responses(cycle)
-        issued_any = self._issue_requests(cycle)
-        if not issued_any and self.peek_native(cycle) is not None:
+        issued_any, saw_native = self._issue_requests(cycle)
+        if not issued_any and saw_native:
+            # A native request was visible but could not issue (decoded
+            # earlier in _issue_requests — no pops happened on the failed
+            # path, so that peek is still authoritative).
             self.stall_cycles += 1
 
     def _accept_responses(self, cycle: int) -> None:
         queue = self.fabric.responses(self.endpoint)
-        while queue:
+        while queue._committed:
             packet: NocPacket = queue.pop()
             entry = self.table.match_response(
                 packet.tag, packet.slv_addr, txn_id_hint=packet.txn_id
@@ -162,12 +189,15 @@ class InitiatorNiu(Component):
             if not progressed:
                 return
 
-    def _issue_requests(self, cycle: int) -> bool:
+    def _issue_requests(self, cycle: int) -> Tuple[bool, bool]:
+        """Returns (issued anything, saw a native request at all)."""
         issued_any = False
+        saw_native = False
         for _ in range(self.issues_per_cycle):
             txn = self.peek_native(cycle)
             if txn is None:
                 break
+            saw_native = True
             try:
                 slv_addr, offset = self.address_map.decode_span(
                     txn.address, txn.total_bytes
@@ -196,7 +226,7 @@ class InitiatorNiu(Component):
             )
             self._inject(txn, slv_addr, offset, tag)
             issued_any = True
-        return issued_any
+        return issued_any, saw_native
 
     def _reject_decode(self, txn: Transaction, cycle: int) -> bool:
         """Complete an unmapped address with DECERR, never entering the
@@ -314,6 +344,26 @@ class TargetNiu(Component):
             or self._parked
             or self.slave_socket.responses
         )
+
+    _next_event_known = True
+
+    def next_event_cycle(self, now: int):
+        """Dormant while every accepted request is at the target IP and
+        nothing else needs the engine: no delivered packet, no finished
+        access to absorb, no response ready to inject, no lock-parked
+        packet (parked heads do per-cycle blocked accounting).  The
+        re-arming events — request-packet push and slave-response push —
+        are wake-registered in __init__."""
+        if (
+            self._req_packets
+            or self._parked
+            or self.slave_socket.responses._committed
+        ):
+            return now
+        order = self._order
+        if order and order[0] in self._ready:
+            return now  # response ready: retry injection every cycle
+        return None
 
     def tick(self, cycle: int) -> None:
         self._return_responses(cycle)
@@ -480,7 +530,7 @@ class TargetNiu(Component):
     def _return_responses(self, cycle: int) -> None:
         # Absorb finished target-IP accesses into the ready map.
         responses = self.slave_socket.responses
-        while responses:
+        while responses._committed:
             slave_rsp: SlaveResponse = responses.pop()
             packet = self._pending.pop(slave_rsp.token)
             if packet.opcode.expects_response:

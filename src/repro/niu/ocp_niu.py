@@ -57,15 +57,18 @@ class OcpInitiatorNiu(InitiatorNiu):
 
     def peek_native(self, cycle: int) -> Optional[Transaction]:
         channel = self.socket.req("req")
-        if not channel:
+        if not channel._committed:
             return None
         request: OcpRequest = channel.peek()
+        if request is self._peek_key:
+            return self._peek_txn
         try:
             opcode, excl = _OPCODES[request.mcmd]
         except KeyError:
             raise ValueError(f"{self.name}: cannot convert {request.mcmd}") from None
         sideband = request.txn
-        return Transaction(
+        self._peek_key = request
+        self._peek_txn = Transaction(
             opcode=opcode,
             address=request.maddr,
             beats=request.mburstlength,
@@ -80,6 +83,7 @@ class OcpInitiatorNiu(InitiatorNiu):
             priority=sideband.priority if sideband else 0,
             txn_id=sideband.txn_id if sideband else -1,
         )
+        return self._peek_txn
 
     def pop_native(self) -> None:
         self.socket.req("req").pop()

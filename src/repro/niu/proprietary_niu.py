@@ -55,7 +55,7 @@ class MsgInitiatorNiu(InitiatorNiu):
 
     def peek_native(self, cycle: int) -> Optional[Transaction]:
         channel = self.socket.req("msg")
-        if not channel:
+        if not channel._committed:
             return None
         request: MsgRequest = channel.peek()
         if request.kind is MsgKind.FENCE:
@@ -73,7 +73,10 @@ class MsgInitiatorNiu(InitiatorNiu):
                 self.fences_served += 1
             return None
         sideband = request.txn
-        return Transaction(
+        if request is self._peek_key:
+            return self._peek_txn
+        self._peek_key = request
+        self._peek_txn = Transaction(
             opcode=_OPCODES[request.kind],
             address=request.addr,
             beats=request.length_words,
@@ -86,6 +89,7 @@ class MsgInitiatorNiu(InitiatorNiu):
             priority=sideband.priority if sideband else 0,
             txn_id=sideband.txn_id if sideband else -1,
         )
+        return self._peek_txn
 
     def pop_native(self) -> None:
         self.socket.req("msg").pop()

@@ -59,6 +59,12 @@ class StateTable:
         self._stream_seq: Dict[StreamKey, int] = {}
         self.total_allocated = 0
         self.high_watermark = 0
+        # Entries with responded=True still in the table; lets the hot
+        # per-cycle deliverable() query answer "nothing yet" in O(1).
+        self._responded_count = 0
+        # Live entries per stream (admission checks run per issue
+        # attempt, so the population query must not scan the table).
+        self._stream_counts: Dict[StreamKey, int] = {}
 
     # ------------------------------------------------------------------ #
     # allocation / release
@@ -95,15 +101,24 @@ class StateTable:
         )
         self._seq += 1
         self._entries[txn.txn_id] = entry
+        self._stream_counts[stream] = self._stream_counts.get(stream, 0) + 1
         self.total_allocated += 1
         self.high_watermark = max(self.high_watermark, len(self._entries))
         return entry
 
     def release(self, txn_id: int) -> StateEntry:
         try:
-            return self._entries.pop(txn_id)
+            entry = self._entries.pop(txn_id)
         except KeyError:
             raise KeyError(f"{self.name}: releasing unknown txn {txn_id}") from None
+        if entry.responded:
+            self._responded_count -= 1
+        remaining = self._stream_counts[entry.stream] - 1
+        if remaining:
+            self._stream_counts[entry.stream] = remaining
+        else:
+            del self._stream_counts[entry.stream]
+        return entry
 
     # ------------------------------------------------------------------ #
     # lookups
@@ -162,6 +177,7 @@ class StateTable:
         entry.responded = True
         entry.status = status
         entry.payload = payload
+        self._responded_count += 1
         return entry
 
     # ------------------------------------------------------------------ #
@@ -174,6 +190,12 @@ class StateTable:
             return None
         return min(entries, key=lambda e: e.stream_seq)
 
+    @property
+    def has_responded(self) -> bool:
+        """Any entry holding a returned response (O(1) precheck for the
+        per-cycle delivery scan and the NIU's dormancy predicate)."""
+        return self._responded_count > 0
+
     def deliverable(self) -> List[StateEntry]:
         """Responded entries that are the oldest of their stream.
 
@@ -181,6 +203,8 @@ class StateTable:
         in-order rule; everything else waits in the table (the table *is*
         the reorder buffer).
         """
+        if not self._responded_count:
+            return []
         oldest: Dict[StreamKey, StateEntry] = {}
         for entry in self._entries.values():
             best = oldest.get(entry.stream)
@@ -201,4 +225,4 @@ class StateTable:
         )
 
     def stream_population(self, stream: StreamKey) -> int:
-        return sum(1 for e in self._entries.values() if e.stream == stream)
+        return self._stream_counts.get(stream, 0)

@@ -92,14 +92,17 @@ class VciInitiatorNiu(InitiatorNiu):
 
     def peek_native(self, cycle: int) -> Optional[Transaction]:
         channel = self.socket.req("cmd")
-        if not channel:
+        if not channel._committed:
             return None
         request: VciRequest = channel.peek()
+        if request is self._peek_key:
+            return self._peek_txn
         sideband = request.txn
         beat_bytes = (
             request.plen // request.cells if request.cells else 4
         ) or 4
-        return Transaction(
+        self._peek_key = request
+        self._peek_txn = Transaction(
             opcode=_OPCODES[request.cmd],
             address=request.address,
             beats=request.cells,
@@ -111,6 +114,7 @@ class VciInitiatorNiu(InitiatorNiu):
             priority=sideband.priority if sideband else 0,
             txn_id=sideband.txn_id if sideband else -1,
         )
+        return self._peek_txn
 
     def pop_native(self) -> None:
         self.socket.req("cmd").pop()

@@ -112,6 +112,16 @@ class CdcFifo(Component, WakeHooks):
         region is always empty here."""
         return not self._crossing and not self._staged
 
+    _next_event_known = True
+
+    def next_event_cycle(self, now: int):
+        """The synchronizer ages once per consumer edge while anything is
+        crossing (those edges are never skippable); otherwise the FIFO is
+        dormant until the next push wakes it."""
+        if self._crossing or self._staged:
+            return self.consumer_domain.next_edge(now)
+        return None
+
     def tick(self, cycle: int) -> None:
         # Synchronizer stages advance on consumer clock edges.
         if not self.consumer_domain.active(cycle):

@@ -43,6 +43,11 @@ class ClockDomain:
         """Does this domain have a clock edge at ``kernel_cycle``?"""
         return kernel_cycle % self.divisor == self.phase
 
+    def next_edge(self, kernel_cycle: int) -> int:
+        """First clock edge at or after ``kernel_cycle`` — what the
+        event-wheel kernel aligns a component's next event to."""
+        return kernel_cycle + (self.phase - kernel_cycle) % self.divisor
+
     def local_cycle(self, kernel_cycle: int) -> int:
         """This domain's own cycle count at kernel time ``kernel_cycle``."""
         return (kernel_cycle - self.phase + self.divisor - 1) // self.divisor

@@ -91,6 +91,14 @@ def _domain_name(domain) -> Optional[str]:
     return None if domain is None else domain.name
 
 
+def _edge_at_or_after(domain, cycle: int) -> int:
+    """First clock edge of ``domain`` at or after ``cycle`` (``None`` =
+    the kernel reference clock, which has an edge every cycle)."""
+    if domain is None:
+        return cycle
+    return domain.next_edge(cycle)
+
+
 def domains_cross(producer_domain, consumer_domain) -> bool:
     """True when two link ends are asynchronous to each other.
 
@@ -161,9 +169,23 @@ class PhysicalLink(Component):
         self._pipe: Deque[Tuple[int, Flit]] = deque()  # (ready cycle, flit)
         self._crossing: Deque[List] = deque()  # [consumer edges left, flit]
         self._deliver: Deque[Flit] = deque()  # synchronized, awaiting room
+        # Edge bookkeeping for the time-skipping kernel: shifting and
+        # synchronizer aging are *internal* per-edge state (nothing
+        # outside the link can observe a partially shifted flit), so a
+        # tick that lands after skipped cycles catches the countdowns up
+        # by the number of elapsed edges.  These record the last edge on
+        # which each side ran, so elapsed edges are exact.
+        self._shift_edge = -1  # producer edge of the last shift/start
+        self._cross_edge = -1  # last consumer edge the link ticked on
         self._max_in_flight = pipeline_latency + 1 + (
             sync_stages if self.crosses_domains else 0
         )
+        # Integer clock gates (divisor/phase) so the per-tick edge tests
+        # are two arithmetic compares instead of method calls.
+        self._pdiv = 1 if producer_domain is None else producer_domain.divisor
+        self._ppha = 0 if producer_domain is None else producer_domain.phase
+        self._cdiv = 1 if consumer_domain is None else consumer_domain.divisor
+        self._cpha = 0 if consumer_domain is None else consumer_domain.phase
         self.flits_carried = 0
         self.phits_carried = 0
         upstream.wake_on_push(self)
@@ -191,21 +213,71 @@ class PhysicalLink(Component):
         """No flit on the wires or in the synchronizer (drain check)."""
         return self.in_flight == 0
 
+    _next_event_known = True
+
+    def next_event_cycle(self, now: int):
+        """Next clock edge on which this link's tick changes *visible*
+        state.
+
+        Shifting and synchronizer aging are internal countdowns that the
+        tick catches up across skipped edges, so their events are the
+        countdowns' completion edges, not every edge: the shift ends at
+        the ``remaining``-th producer edge after the last shift tick and
+        the synchronizer's head flit matures (and is delivered) at its
+        ``edges-left``-th consumer edge — nothing outside the link can
+        tell the intermediate edges happened or not.  Pipeline maturation
+        and blocked delivery contribute their own consumer edges, an
+        idle-but-fed producer its next edge; a fully empty link is
+        dormant (upstream-push / downstream-pop wakes re-arm it).
+        """
+        producer = self.producer_domain
+        consumer = self.consumer_domain
+        best = None
+        shifting = self._shifting
+        if shifting is not None:
+            best = self._shift_edge + shifting[1] * self._pdiv
+            if best < now:  # defensive: never propose the past
+                best = _edge_at_or_after(producer, now)
+        elif self.upstream._committed and self.in_flight < self._max_in_flight:
+            best = _edge_at_or_after(producer, now)
+        if self._deliver:
+            event = _edge_at_or_after(consumer, now)
+            if best is None or event < best:
+                best = event
+        if self._crossing:
+            event = self._cross_edge + self._crossing[0][0] * self._cdiv
+            if event < now:
+                event = _edge_at_or_after(consumer, now)
+            if best is None or event < best:
+                best = event
+        if self._pipe:
+            ready = self._pipe[0][0]
+            event = _edge_at_or_after(consumer, ready if ready > now else now)
+            if best is None or event < best:
+                best = event
+        return best
+
     # ------------------------------------------------------------------ #
     # the cycle
     # ------------------------------------------------------------------ #
     def tick(self, cycle: int) -> None:
-        producer = self.producer_domain
-        consumer = self.consumer_domain
-        on_consumer = consumer is None or consumer.active(cycle)
-
-        if on_consumer:
+        cdiv = self._cdiv
+        if cdiv == 1 or cycle % cdiv == self._cpha:
+            last_edge = self._cross_edge
+            self._cross_edge = cycle
             if self.crosses_domains:
-                # Age the synchronizer one consumer edge; flits mature
-                # strictly in order (all entries share sync_stages).
+                # Age the synchronizer; flits mature strictly in order
+                # (all entries share sync_stages).  When the kernel
+                # skipped edges (it never skips past the head flit's
+                # maturation — see next_event_cycle), the aging catches
+                # up by the number of elapsed consumer edges.
                 if self._crossing:
+                    if last_edge < 0:
+                        edges = 1
+                    else:
+                        edges = (cycle - last_edge) // cdiv
                     for entry in self._crossing:
-                        entry[0] -= 1
+                        entry[0] -= edges
                     while self._crossing and self._crossing[0][0] <= 0:
                         self._deliver.append(self._crossing.popleft()[1])
                 # Pipeline-matured flits enter the synchronizer.
@@ -216,7 +288,7 @@ class PhysicalLink(Component):
                 while self._deliver and self.downstream.can_push():
                     self.downstream.push(self._deliver.popleft())
                     self.flits_carried += 1
-            else:
+            elif self._pipe:
                 # Same-domain link: deliver flits whose pipeline matured.
                 while self._pipe and self._pipe[0][0] <= cycle:
                     if not self.downstream.can_push():
@@ -225,15 +297,22 @@ class PhysicalLink(Component):
                     self.downstream.push(flit)
                     self.flits_carried += 1
 
-        if producer is not None and not producer.active(cycle):
+        pdiv = self._pdiv
+        if pdiv != 1 and cycle % pdiv != self._ppha:
             return
 
-        # Shift phits of the flit currently on the wires.
+        # Shift phits of the flit currently on the wires, catching up
+        # over skipped producer edges (the kernel never skips past the
+        # completion edge, where the flit enters the wire pipeline).
         if self._shifting is not None:
             flit, remaining = self._shifting
-            remaining -= 1
-            self.phits_carried += 1
-            if remaining == 0:
+            edges = (cycle - self._shift_edge) // pdiv
+            self._shift_edge = cycle
+            if edges > remaining:
+                edges = remaining  # keep the phit counter exact
+            remaining -= edges
+            self.phits_carried += edges
+            if remaining <= 0:
                 # +1: the last phit lands this cycle, the flit is whole at
                 # the far end next cycle, plus any pipeline stages.
                 self._pipe.append((cycle + 1 + self.pipeline_latency, flit))
@@ -246,9 +325,14 @@ class PhysicalLink(Component):
         # never take a flit off the upstream queue unless the in-flight
         # window (pipe + synchronizer + delivery staging) has room, so a
         # blocked downstream stalls the wires instead of dropping flits.
-        if self.upstream and self.in_flight < self._max_in_flight:
+        # (_shifting is None here — the shift branch above returned.)
+        if self.upstream._committed and (
+            len(self._pipe) + len(self._crossing) + len(self._deliver)
+            < self._max_in_flight
+        ):
             flit = self.upstream.pop()
             self._shifting = (flit, self.serialization)
+            self._shift_edge = cycle
 
     @property
     def bandwidth_bits_per_cycle(self) -> float:
@@ -368,6 +452,34 @@ class VcPhysicalLink(Component):
     def idle(self) -> bool:
         """No flit on the wires or in the synchronizer (drain check)."""
         return self.in_flight == 0
+
+    _next_event_known = True
+
+    def next_event_cycle(self, now: int):
+        """Like :meth:`PhysicalLink.next_event_cycle`, with one extra
+        producer-side clause: credit bookkeeping (maturation and the
+        drain-driven give-back) advances on every producer edge while any
+        counter is below capacity, so those edges stay unskippable until
+        the credit loop is whole again — mirroring :meth:`is_idle`."""
+        producer = self.producer_domain
+        consumer = self.consumer_domain
+        best = None
+        if (
+            self._shifting is not None
+            or any(queue._committed for queue in self.upstreams)
+            or any(c._available != c.capacity for c in self.credits)
+        ):
+            best = _edge_at_or_after(producer, now)
+        if self.crosses_domains and self._crossing:
+            event = _edge_at_or_after(consumer, now)
+            if best is None or event < best:
+                best = event
+        elif self._pipe:
+            ready = self._pipe[0][0]
+            event = _edge_at_or_after(consumer, ready if ready > now else now)
+            if best is None or event < best:
+                best = event
+        return best
 
     # ------------------------------------------------------------------ #
     # the cycle

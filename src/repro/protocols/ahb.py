@@ -171,7 +171,7 @@ class AhbMaster(ProtocolMaster):
     def collect_responses(self, cycle: int) -> List[int]:
         completed: List[int] = []
         channel = self.socket.rsp("rsp")
-        while channel:
+        while channel._committed:
             response: AhbResponse = channel.pop()
             if response.hresp is HResp.ERROR:
                 self.errors += 1

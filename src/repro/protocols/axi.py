@@ -199,7 +199,7 @@ class AxiMaster(ProtocolMaster):
     def collect_responses(self, cycle: int) -> List[int]:
         completed: List[int] = []
         r_channel = self.socket.rsp("r")
-        while r_channel:
+        while r_channel._committed:
             r: AxiR = r_channel.pop()
             self._reads_inflight -= 1
             txn = self.inflight_txn(r.txn_id)
@@ -208,7 +208,7 @@ class AxiMaster(ProtocolMaster):
             self.completion_status[r.txn_id] = status
             completed.append(r.txn_id)
         b_channel = self.socket.rsp("b")
-        while b_channel:
+        while b_channel._committed:
             b: AxiB = b_channel.pop()
             self._writes_inflight -= 1
             txn = self.inflight_txn(b.txn_id)

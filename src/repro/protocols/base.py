@@ -145,6 +145,14 @@ class ProtocolMaster(Component):
         )
         self._pending: Optional[Transaction] = None
         self._inflight: Dict[int, Transaction] = {}
+        # Time-skipping lookahead (activity kernel only): when the
+        # traffic source has pre-drawn its next intent ("polls"
+        # lookahead), _armed_at is the absolute cycle the intent becomes
+        # pollable — ticks before it must not poll (the source's rng
+        # draws for those cycles were already consumed).  -1 = no
+        # lookahead pending; the strict kernel never sets it.
+        self._armed_at = -1
+        self._latency_stat = None  # resolved at bind()
         #: Native status translated to the transaction-layer vocabulary,
         #: recorded by subclasses before returning from collect_responses.
         self.completion_status: Dict[int, ResponseStatus] = {}
@@ -176,11 +184,81 @@ class ProtocolMaster(Component):
         """
         return self.finished()
 
+    def bind(self, simulator) -> None:
+        """Register response-channel wakes so a dormant master (parked by
+        the time-skipping kernel while waiting on completions) is put
+        back on the schedule the moment a response becomes visible."""
+        super().bind(simulator)
+        socket = getattr(self, "socket", None)
+        if socket is not None:
+            for queue in socket.response_channels.values():
+                queue.wake_on_push(self)
+        # Issue/complete run once per transaction: resolve the latency
+        # tracker once instead of a registry lookup per event.
+        self._latency_stat = simulator.stats.latency(f"{self.name}.txn")
+
+    # ------------------------------------------------------------------ #
+    # time-skipping protocol
+    # ------------------------------------------------------------------ #
+    _next_event_known = True
+
+    def _has_local_completions(self) -> bool:
+        """Completions to deliver that are not on a response channel
+        (protocols with locally-completed posted writes override)."""
+        return False
+
+    def next_event_cycle(self, now: int):
+        if self._pending is not None:
+            return now  # retrying try_issue against socket backpressure
+        socket = getattr(self, "socket", None)
+        if socket is None:
+            return now  # unknown subclass wiring: never skip
+        for queue in socket.response_channels.values():
+            if queue._committed:
+                return now  # responses waiting to be collected
+        if self._has_local_completions():
+            return now
+        armed_at = self._armed_at
+        if armed_at >= 0:
+            return armed_at if armed_at > now else now
+        lookahead = getattr(self.traffic, "lookahead", None)
+        if lookahead is None:
+            return now  # source has no lookahead: poll every cycle
+        hint = lookahead(now)
+        if hint is None:
+            # Dormant until notify_complete — which only happens from our
+            # own collect_responses path, reached via the response-channel
+            # wake registered in bind().
+            return None
+        kind, value = hint
+        if kind == "at":
+            return value if value > now else now
+        # "polls": the value-th future poll returns the armed intent.
+        # Polls happen at our clock edges (every tick while _pending is
+        # None, which lookahead guarantees stays true until then).
+        divisor = self._clk_divisor
+        if divisor == 1:
+            ready = now + value - 1
+        else:
+            first = now + (self._clk_phase - now) % divisor
+            ready = first + (value - 1) * divisor
+        self._armed_at = ready
+        return ready if ready > now else now
+
     def tick(self, cycle: int) -> None:
         for txn_id in self.collect_responses(cycle):
             self._complete(txn_id, cycle)
         if self._pending is None:
-            self._pending = self.traffic.poll(cycle)
+            armed_at = self._armed_at
+            if armed_at >= 0:
+                # Lookahead pending: the source's draws for the cycles up
+                # to armed_at were consumed eagerly — do not poll again
+                # until the armed intent is due.
+                if cycle >= armed_at:
+                    self._armed_at = -1
+                    self._pending = self.traffic.poll(cycle)
+            else:
+                self._pending = self.traffic.poll(cycle)
         if self._pending is not None and self.try_issue(self._pending, cycle):
             txn = self._pending
             self._pending = None
@@ -193,9 +271,7 @@ class ProtocolMaster(Component):
                 self.checker.issue(
                     txn.txn_id, thread=txn.thread, txn_tag=txn.txn_tag
                 )
-            self.simulator.stats.latency(f"{self.name}.txn").start(
-                txn.txn_id, cycle
-            )
+            self._latency_stat.start(txn.txn_id, cycle)
             self.issued += 1
 
     def _complete(self, txn_id: int, cycle: int) -> None:
@@ -206,7 +282,7 @@ class ProtocolMaster(Component):
             )
         if txn.opcode.expects_response:
             self.checker.complete(txn_id)
-        self.simulator.stats.latency(f"{self.name}.txn").stop(txn_id, cycle)
+        self._latency_stat.stop(txn_id, cycle)
         status = self.completion_status.pop(txn_id, ResponseStatus.OKAY)
         self.traffic.notify_complete(txn_id, cycle, status)
         self.completed += 1

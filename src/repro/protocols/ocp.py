@@ -157,11 +157,14 @@ class OcpMaster(ProtocolMaster):
             self._thread_inflight[thread] += 1
         return True
 
+    def _has_local_completions(self) -> bool:
+        return bool(self._posted_complete)
+
     def collect_responses(self, cycle: int) -> List[int]:
         completed: List[int] = list(self._posted_complete)
         self._posted_complete.clear()
         channel = self.socket.rsp("rsp")
-        while channel:
+        while channel._committed:
             response: OcpResponse = channel.pop()
             self._thread_inflight[response.sthreadid] -= 1
             txn = self.inflight_txn(response.txn_id)

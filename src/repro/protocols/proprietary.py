@@ -121,11 +121,14 @@ class MsgMaster(ProtocolMaster):
             self._posted_complete.append(txn.txn_id)
         return True
 
+    def _has_local_completions(self) -> bool:
+        return bool(self._posted_complete)
+
     def collect_responses(self, cycle: int) -> List[int]:
         completed: List[int] = list(self._posted_complete)
         self._posted_complete.clear()
         channel = self.socket.rsp("ack")
-        while channel:
+        while channel._committed:
             response: MsgResponse = channel.pop()
             if not response.ok:
                 self.errors += 1

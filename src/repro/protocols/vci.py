@@ -134,7 +134,7 @@ class _VciMasterBase(ProtocolMaster):
     def collect_responses(self, cycle: int) -> List[int]:
         completed: List[int] = []
         channel = self.socket.rsp("rsp")
-        while channel:
+        while channel._committed:
             response: VciResponse = channel.pop()
             if response.rerror is VciRerror.GENERAL_ERROR:
                 self.errors += 1

@@ -45,12 +45,23 @@ class Component:
     traces stay in one global time base regardless of domain membership.
     """
 
+    #: Class-level opt-in flag for the next-event protocol: True means the
+    #: kernel may call :meth:`next_event_cycle` to skip dead cycles (and
+    #: park the component on its timing wheel).  Subclasses that override
+    #: :meth:`next_event_cycle` must set it; the default (False) keeps the
+    #: component ticking every cycle of its clock domain, exactly as
+    #: before.
+    _next_event_known = False
+
     def __init__(self, name: str) -> None:
         self.name = name
         self._simulator = None
         # Scheduler bookkeeping (owned by Simulator; see kernel.py).
         self._scheduled = False
         self._sched_index = -1
+        # >= 0 while parked on the kernel's timing wheel (the value is the
+        # wheel slot's cycle; -1 otherwise).  Owned by Simulator/wake.
+        self._parked_until = -1
         # Clock-domain gating (see set_clock_domain); divisor 1 == the
         # kernel reference clock, checked on the kernel hot path as two
         # plain ints so ungated components pay one compare per tick.
@@ -105,6 +116,7 @@ class Component:
             sim = self._simulator
             if sim is not None:
                 self._scheduled = True
+                self._parked_until = -1  # invalidate any timing-wheel slot
                 sim._wakes.append(self)
 
     def is_idle(self) -> bool:
@@ -114,6 +126,33 @@ class Component:
         only together with wake registration — see the class docstring.
         """
         return False
+
+    def next_event_cycle(self, now: int):
+        """Earliest cycle >= ``now`` at which :meth:`tick` might not be a
+        no-op, or ``None`` for "never, until something wakes me".
+
+        This is the time-skipping half of the activity contract (the
+        space half is :meth:`is_idle`).  A component that opts in (class
+        attribute ``_next_event_known = True``) promises:
+
+        - every tick at a cycle *before* the returned value changes no
+          consumer-visible state, no stats and no traces — the kernel may
+          therefore skip those cycles entirely or park the component on
+          its timing wheel until the returned cycle; and
+        - returning ``None`` additionally promises that every external
+          event that could create an earlier event :meth:`wake`\\ s the
+          component (the same queue-wake registration rule as
+          :meth:`is_idle` — a wake during a skipped window re-schedules
+          the component and invalidates its wheel slot).
+
+        Returning ``now`` means "I may act this coming cycle" and
+        disables skipping; that is the default, so components that do not
+        opt in behave exactly as before.  The kernel aligns returned
+        cycles to the component's clock-domain edges itself; multi-domain
+        components (physical links) must return edge-accurate cycles for
+        any internal per-edge state of their own.
+        """
+        return now
 
     def tick(self, cycle: int) -> None:
         """Advance the component by one cycle.  Default: do nothing."""

@@ -1,9 +1,11 @@
-"""The cycle-based simulation kernel (activity-driven)."""
+"""The cycle-based simulation kernel (activity-driven, event-skipping)."""
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Optional
+from heapq import heappop, heappush
+from operator import attrgetter
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.component import Component
 from repro.sim.queue import SimQueue
@@ -15,8 +17,70 @@ class SimulationError(RuntimeError):
     """Raised for kernel-level failures (deadlock, double registration...)."""
 
 
-def _sched_key(component: Component) -> int:
-    return component._sched_index
+#: Registration-order sort key for the wake merge (C-level accessor: the
+#: merge sorts on every cycle that woke anything).
+_sched_key = attrgetter("_sched_index")
+
+
+#: Park a component on the wheel only when its next event is at least this
+#: many cycles out; nearer events stay in the run list (the per-cycle
+#: no-op ticks are cheaper than wheel churn) and are handled by the
+#: whole-kernel skip in :meth:`Simulator.run` when the fabric is quiet.
+PARK_HORIZON = 8
+
+
+class TimingWheel:
+    """Hierarchical re-activation schedule for parked components.
+
+    Two levels: a min-heap of distinct event cycles (the coarse level —
+    one entry per cycle that has sleepers) over per-cycle buckets of
+    components (the fine level).  ``schedule`` is O(log n) in the number
+    of *distinct* pending cycles, the due-check the kernel runs every
+    cycle is a single compare against the heap top, and ``next_cycle``
+    (what the skip logic needs) is O(1).
+
+    Entries can go stale: a parked component woken early by a queue event
+    re-enters the schedule through the normal wake path and clears its
+    ``_parked_until`` stamp, so the wheel validates each entry against
+    that stamp when its slot comes due and silently drops mismatches —
+    this is what makes wakes during a skipped window rewind-safe.
+    """
+
+    __slots__ = ("_buckets", "_heap", "events_scheduled", "events_fired")
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, List[Component]] = {}
+        self._heap: List[int] = []
+        self.events_scheduled = 0
+        self.events_fired = 0
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def schedule(self, cycle: int, component: Component) -> None:
+        """Park ``component`` until ``cycle`` (caller stamps it)."""
+        bucket = self._buckets.get(cycle)
+        if bucket is None:
+            self._buckets[cycle] = [component]
+            heappush(self._heap, cycle)
+        else:
+            bucket.append(component)
+        self.events_scheduled += 1
+
+    def next_cycle(self) -> Optional[int]:
+        """Earliest cycle holding parked components (None when empty)."""
+        return self._heap[0] if self._heap else None
+
+    def pop_due(self, cycle: int) -> List[Tuple[int, Component]]:
+        """Drain every slot at or before ``cycle`` (stale entries too —
+        the caller validates against ``_parked_until``)."""
+        due: List[Tuple[int, Component]] = []
+        heap = self._heap
+        while heap and heap[0] <= cycle:
+            slot = heappop(heap)
+            for component in self._buckets.pop(slot):
+                due.append((slot, component))
+        return due
 
 
 class Simulator:
@@ -93,6 +157,19 @@ class Simulator:
         # Idle components are retired from the run list every
         # (RETIRE_EVERY = mask + 1) cycles; must be a power of two - 1.
         self._retire_mask = 7
+        # Event-wheel state: components whose next event is far away are
+        # parked here by the retire sweep and re-activated when their
+        # slot comes due (or earlier, by a wake).  run() additionally
+        # skips `now` straight past provably dead stretches.
+        self._wheel = TimingWheel()
+        self._quiet_step = True
+        #: Cycles advanced without executing a kernel step (bench metric).
+        self.cycles_skipped = 0
+
+    @property
+    def wheel_events(self) -> int:
+        """Timing-wheel re-activations scheduled so far (bench metric)."""
+        return self._wheel.events_scheduled
 
     # ------------------------------------------------------------------ #
     # registration
@@ -149,6 +226,20 @@ class Simulator:
         if self.strict:
             self._step_strict()
             return
+        cycle = self.cycle
+        # Re-activate parked components whose wheel slot is due.  Entries
+        # are validated against the park stamp: a component woken early
+        # (or re-parked elsewhere) left a stale entry behind, which is
+        # simply dropped.
+        wheel = self._wheel
+        if wheel._heap and wheel._heap[0] <= cycle:
+            wakes = self._wakes
+            for slot, component in wheel.pop_due(cycle):
+                if component._parked_until == slot and not component._scheduled:
+                    component._parked_until = -1
+                    component._scheduled = True
+                    wheel.events_fired += 1
+                    wakes.append(component)
         # Merge components woken since the last step (or freshly added).
         wakes = self._wakes
         run_list = self._run_list
@@ -156,7 +247,6 @@ class Simulator:
             run_list.extend(wakes)
             wakes.clear()
             run_list.sort(key=_sched_key)
-        cycle = self.cycle
         for component in run_list:
             # Clock-domain gate: divisor 1 (the kernel reference clock)
             # short-circuits, so single-domain builds pay one compare.
@@ -165,26 +255,61 @@ class Simulator:
                 component.tick(cycle)
         # Commit only queues that staged something this cycle; commits
         # wake push-waiters, which lands them in _wakes for next cycle.
+        # A cycle with no commits is *quiet*: nothing moved anywhere, so
+        # it is a candidate for the time-skip scan in run() — gating the
+        # scan on quietness keeps its cost off the busy-fabric path.
         dirty = self._dirty_queues
         if dirty:
+            self._quiet_step = False
             for queue in dirty:
                 if queue._dirty:
                     queue.commit()
             dirty.clear()
+        else:
+            self._quiet_step = True
         # Retire components that report idle (post-commit, so anything
         # that just became visible keeps its consumer scheduled).  The
         # sweep runs every RETIRE_EVERY cycles: retirement is purely an
         # optimisation (extra ticks of an idle component are no-ops), and
         # sweeping on a cadence keeps busy phases from paying an is_idle
         # scan per component per cycle while bursty traffic oscillates.
+        # The same sweep parks non-idle components whose declared next
+        # event is at least PARK_HORIZON out on the timing wheel (a
+        # dormant component — next event None — is simply descheduled;
+        # its wake registrations bring it back, exactly like retirement).
         if cycle & self._retire_mask == self._retire_mask:
+            now = cycle + 1
+            wheel = self._wheel
             retained = []
             retain = retained.append
             for component in run_list:
                 if component.is_idle():
                     component._scheduled = False
-                else:
-                    retain(component)
+                    continue
+                if component._next_event_known:
+                    event = component.next_event_cycle(now)
+                    if event is None:
+                        component._scheduled = False
+                        continue
+                    divisor = component._clk_divisor
+                    if divisor != 1:
+                        event += (component._clk_phase - event) % divisor
+                    if event >= now + PARK_HORIZON:
+                        component._scheduled = False
+                        component._parked_until = event
+                        wheel.schedule(event, component)
+                        continue
+                elif component._clk_divisor >= PARK_HORIZON:
+                    # Slow-domain component with no event protocol: its
+                    # next possible action is its next clock edge.
+                    divisor = component._clk_divisor
+                    event = now + (component._clk_phase - now) % divisor
+                    if event >= now + PARK_HORIZON:
+                        component._scheduled = False
+                        component._parked_until = event
+                        wheel.schedule(event, component)
+                        continue
+                retain(component)
             if len(retained) != len(run_list):
                 self._run_list = retained
         self.cycle += 1
@@ -203,10 +328,97 @@ class Simulator:
         self._dirty_queues.clear()
         self.cycle += 1
 
+    def _next_event_horizon(self, limit: int) -> int:
+        """Earliest future cycle at which anything can happen, capped at
+        ``limit``.
+
+        Called between steps with no wakes and no dirty queues pending:
+        every scheduled component is consulted for its next possible
+        activity cycle (its next clock edge when it does not speak the
+        next-event protocol), the timing wheel contributes its earliest
+        slot, and the minimum is where ``run`` may jump ``now`` to.  Any
+        component that may act next cycle makes the answer ``self.cycle``
+        (no skip) — the scan bails out on the first such component, so a
+        busy fabric pays one attribute check per scheduled component.
+        """
+        now = self.cycle
+        horizon = limit
+        heap = self._wheel._heap
+        if heap:
+            slot = heap[0]
+            if slot <= now:
+                return now
+            if slot < horizon:
+                horizon = slot
+        run_list = self._run_list
+        dormant = 0
+        for component in run_list:
+            divisor = component._clk_divisor
+            if component._next_event_known:
+                event = component.next_event_cycle(now)
+                if event is None:
+                    # Dormant until a wake: deschedule right here (the
+                    # skip would jump past the retire sweeps that would
+                    # otherwise prune it).  Only a completed scan commits
+                    # this — an early bail-out leaves the list untouched.
+                    component._scheduled = False
+                    dormant += 1
+                    continue
+                if divisor != 1:
+                    event += (component._clk_phase - event) % divisor
+            elif component.is_idle():
+                # No event protocol, but idle: retire it now instead of
+                # waiting for the sweep — identical semantics (an idle
+                # component is dormant by the is_idle contract), and it
+                # unblocks skipping across the gaps between packets.
+                component._scheduled = False
+                dormant += 1
+                continue
+            elif divisor == 1:
+                self._rearm_dormant(run_list, dormant)
+                return now
+            else:
+                event = now + (component._clk_phase - now) % divisor
+            if event <= now:
+                self._rearm_dormant(run_list, dormant)
+                return now
+            if event < horizon:
+                horizon = event
+        if dormant:
+            self._run_list = [c for c in run_list if c._scheduled]
+        return horizon
+
+    @staticmethod
+    def _rearm_dormant(run_list: List[Component], dormant: int) -> None:
+        """Undo in-scan descheduling when the scan bails out early."""
+        if dormant:
+            for component in run_list:
+                if not component._scheduled:
+                    component._scheduled = True
+
     def run(self, cycles: int) -> int:
-        """Run for ``cycles`` cycles; returns the new current cycle."""
-        for _ in range(cycles):
+        """Run for ``cycles`` cycles; returns the new current cycle.
+
+        On the activity kernel, stretches of provably dead time are
+        skipped: whenever every scheduled component's next possible
+        activity cycle lies in the future (and nothing was woken or
+        staged), ``now`` advances straight to the earliest such event —
+        see :meth:`Component.next_event_cycle` for why this is exact.
+        The strict kernel executes every cycle, as always.
+        """
+        end = self.cycle + cycles
+        if self.strict:
+            while self.cycle < end:
+                self._step_strict()
+            return self.cycle
+        while self.cycle < end:
             self.step()
+            if self._wakes or not self._quiet_step or self.cycle >= end:
+                continue
+            target = self._next_event_horizon(end)
+            if target > self.cycle:
+                self.cycles_skipped += target - self.cycle
+                self.cycle = target
         return self.cycle
 
     def run_until(

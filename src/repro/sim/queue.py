@@ -74,6 +74,11 @@ class SimQueue(WakeHooks):
         self.capacity = capacity
         self._committed: Deque[Any] = deque()
         self._staged: List[Any] = []
+        # Committed + staged count, maintained incrementally: capacity
+        # checks are the single hottest queue operation (every router
+        # output, link gate and injection decision), so they must not
+        # re-measure both regions each time.
+        self._occ = 0
         self.total_pushed = 0
         self.total_popped = 0
         self.high_watermark = 0
@@ -88,19 +93,20 @@ class SimQueue(WakeHooks):
     # ------------------------------------------------------------------ #
     def can_push(self, count: int = 1) -> bool:
         """True if ``count`` more items fit this cycle."""
-        if self.capacity is None:
-            return True
-        return len(self._committed) + len(self._staged) + count <= self.capacity
+        capacity = self.capacity
+        return capacity is None or self._occ + count <= capacity
 
     def push(self, item: Any) -> None:
         """Stage ``item``; it becomes visible after the next commit."""
-        if not self.can_push():
+        capacity = self.capacity
+        if capacity is not None and self._occ >= capacity:
             raise OverflowError(
                 f"queue {self.name!r} is full "
                 f"({len(self._committed)} committed + {len(self._staged)} staged"
                 f" / capacity {self.capacity})"
             )
         self._staged.append(item)
+        self._occ += 1
         self.total_pushed += 1
         if not self._dirty:
             self._dirty = True
@@ -136,6 +142,7 @@ class SimQueue(WakeHooks):
         if not self._committed:
             raise IndexError(f"queue {self.name!r} is empty")
         self.total_popped += 1
+        self._occ -= 1
         item = self._committed.popleft()
         for waiter in self._pop_waiters:
             waiter.wake()
@@ -162,7 +169,7 @@ class SimQueue(WakeHooks):
     @property
     def occupancy(self) -> int:
         """Committed + staged items (what capacity accounting sees)."""
-        return len(self._committed) + len(self._staged)
+        return self._occ
 
     def drain(self, include_staged: bool = False) -> List[Any]:
         """Pop every committed item (test/scoreboard convenience).
@@ -177,9 +184,11 @@ class SimQueue(WakeHooks):
         items = list(self._committed)
         self.total_popped += len(items)
         self._committed.clear()
+        self._occ -= len(items)
         if include_staged and self._staged:
             items.extend(self._staged)
             self.total_popped += len(self._staged)
+            self._occ -= len(self._staged)
             self._staged.clear()
         if items:
             for waiter in self._pop_waiters:

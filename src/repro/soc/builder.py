@@ -202,6 +202,7 @@ class SocBuilder:
         vc_policy=None,
         vc_separation: bool = False,
         adaptive_vcs: Optional[int] = None,
+        stream_fast_path: bool = True,
     ) -> None:
         self.name = name
         self.mode = mode
@@ -224,6 +225,11 @@ class SocBuilder:
         self.vc_policy = vc_policy
         self.vc_separation = vc_separation
         self.adaptive_vcs = adaptive_vcs
+        # Router body-flit streaming fast path (PR 5).  On by default —
+        # byte-identical to the reference arbitration (pinned by
+        # tests/test_event_wheel.py); the knob exists so experiments and
+        # regressions can run the slow path declaratively.
+        self.stream_fast_path = stream_fast_path
         self.initiators: List[InitiatorSpec] = []
         self.targets: List[TargetSpec] = []
 
@@ -399,6 +405,7 @@ class SocBuilder:
             vcs=vcs,
             vc_policy=self.vc_policy,
             vc_separation=self.vc_separation,
+            stream_fast_path=self.stream_fast_path,
         )
         address_map = self._build_address_map()
 

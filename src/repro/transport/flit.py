@@ -19,7 +19,7 @@ from repro.core.packet import NocPacket, PacketFormat
 _flit_packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """One flit.  ``packet`` is carried on the head flit only.
 

@@ -142,7 +142,41 @@ class InjectionPort(Component):
     def is_idle(self) -> bool:
         return not self.pending_flits() and not self.packet_queue
 
+    _next_event_known = True
+
+    def next_event_cycle(self, now: int):
+        """Dormant while every pending flit stream is blocked on a full
+        feed and no packet can be segmented — the feed pops and packet
+        pushes that end that are wake-registered in __init__."""
+        if self.vcs == 1:
+            pending = self._pending[0]
+            if pending:
+                return now if self.flit_queues[0].can_push() else None
+            return now if self.packet_queue._committed else None
+        for vc in range(self.vcs):
+            if self._pending[vc] and self.flit_queues[vc].can_push():
+                return now
+        if self.packet_queue._committed:
+            return now  # a fresh stream may be segmented this cycle
+        return None
+
     def tick(self, cycle: int) -> None:
+        if self.vcs == 1:
+            # Single-VC fast path: no per-VC rotation, and the VC policy
+            # (stateless by contract) is consulted only when a packet is
+            # actually segmented.
+            pending = self._pending[0]
+            if not pending and self.packet_queue._committed:
+                packet = self.packet_queue.pop()
+                packet.injected_cycle = cycle
+                pending = self._pending[0] = self.packetizer.segment(
+                    packet, vc=0
+                )
+                self.packets_injected += 1
+            if pending and self.flit_queues[0].can_push():
+                self.flit_queues[0].push(pending.pop(0))
+                self.flits_injected += 1
+            return
         if self.packet_queue:
             vc = self.vc_policy.injection_vc(self.packet_queue.peek(), self.vcs)
             if not 0 <= vc < self.vcs:
@@ -260,9 +294,52 @@ class EjectionPort(Component):
                     return False
         return True
 
+    _next_event_known = True
+
+    def next_event_cycle(self, now: int):
+        """Dormant while every waiting flit is a tail blocked on its full
+        delivery queue (packet-granularity backpressure): only a queue
+        event — gap-filling flit push or delivery pop, both
+        wake-registered — changes that.  Resequencing planes stay hot
+        whenever anything is buffered (the reorder logic is stateful)."""
+        if self.resequence:
+            if self._rob_count:
+                return now
+            for queue in self.flit_queues:
+                if queue._committed:
+                    return now
+            return None
+        for vc, queue in enumerate(self.flit_queues):
+            committed = queue._committed
+            if not committed:
+                continue
+            flit = committed[0]
+            if flit.seq != flit.count - 1:
+                return now  # head/body flit is always acceptable
+            if self._queue_for(vc, flit).can_push():
+                return now
+        return None
+
     def tick(self, cycle: int) -> None:
         if self._rob_count:
             self._flush_reorder()
+        packet_queue = self.packet_queue
+        if self.vcs == 1 and packet_queue is not None and not self.resequence:
+            # Single-VC, single delivery queue, no resequencing: the
+            # historical ejection port, minus the rotation scaffolding.
+            queue = self.flit_queues[0]
+            committed = queue._committed
+            if not committed:
+                return
+            flit = committed[0]
+            if flit.seq == flit.count - 1 and not packet_queue.can_push():
+                return  # hold the tail: packet-granularity backpressure
+            queue.pop()
+            packet = self.reassemblers[0].accept(flit)
+            if packet is not None:
+                packet_queue.push(packet)
+                self.packets_ejected += 1
+            return
         # One flit per cycle; hold a tail until its packet queue has room
         # so backpressure propagates into the fabric at packet granularity
         # — per VC, so a full queue on one VC never stalls the others.
@@ -368,6 +445,7 @@ class Network:
         vcs: int = 1,
         vc_policy=None,
         split_ejection_by_kind: bool = False,
+        stream_fast_path: bool = True,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -439,6 +517,7 @@ class Network:
                     if adaptive_tables is not None
                     else None
                 ),
+                stream_fast_path=stream_fast_path,
             )
             if fabric_domain is not None:
                 router.set_clock_domain(fabric_domain)
@@ -780,6 +859,7 @@ class Fabric:
         vcs: int = 1,
         vc_policy=None,
         vc_separation: bool = False,
+        stream_fast_path: bool = True,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -813,6 +893,7 @@ class Fabric:
             fabric_domain=fabric_domain,
             endpoint_domains=endpoint_domains,
             vcs=vcs,
+            stream_fast_path=stream_fast_path,
         )
         if vc_separation:
             if vcs < 2 or vcs % 2:

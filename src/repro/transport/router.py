@@ -75,6 +75,7 @@ class Router(Component):
         vcs: int = 1,
         vc_policy: Optional[VcPolicy] = None,
         adaptive_table: Optional[AdaptiveRoutingTable] = None,
+        stream_fast_path: bool = True,
     ) -> None:
         super().__init__(name)
         if vcs < 1:
@@ -87,6 +88,13 @@ class Router(Component):
         self.lock_support = lock_support
         self.vcs = vcs
         self.vc_policy = vc_policy if vc_policy is not None else VcPolicy()
+        # Body-flit streaming fast path: once a head holds its output VC
+        # and an output is uncontested, later flits bypass candidate
+        # construction and the arbiter call (the grant is still recorded
+        # — see Arbiter.note_sole_grant).  Disable to run the reference
+        # arbitration for every flit; tests pin that both produce the
+        # same flit interleaving, cycle for cycle.
+        self.stream_fast_path = stream_fast_path
         # Minimal-adaptive mode: route choice becomes a per-cycle
         # multi-candidate allocation decision (see _allocate_adaptive);
         # ``table`` then holds the escape (deterministic) next hops.
@@ -404,47 +412,39 @@ class Router(Component):
         return True
 
     def tick(self, cycle: int) -> None:
-        sorted_inputs = self._sorted_inputs
-        # Early exit: quiescent router (see is_idle for why this is exact).
-        busy = False
-        for _key, queue in sorted_inputs:
-            if queue._committed:
-                busy = True
-                break
+        # Single busy scan shared by both switch flavours: collects the
+        # input VCs holding flits (quiescent routers return on the empty
+        # list — see is_idle for why that is exact).
+        busy: List[tuple] = [
+            item for item in self._sorted_inputs if item[1]._committed
+        ]
         if not busy:
             return
         if self.vcs > 1 or self.adaptive_table is not None:
-            self._tick_vc(cycle)
+            self._tick_vc(cycle, busy)
             return
         input_alloc = self._input_alloc
         input_age = self._input_age
+        inputs = self.inputs
         outputs = self.outputs
         mode = self.mode
         wormhole = mode is SwitchingMode.WORMHOLE
-        # Phase A: what does each input want to do?  Heads that are ready
-        # to depart are grouped per desired output so Phase B arbitration
-        # touches only actual contenders instead of rescanning every input.
-        desires: Dict[VcKey, VcKey] = {}  # input vc -> output vc
+        # Phase A: route heads with no allocation yet.  Streaming inputs
+        # (mid-packet, output owned) need no per-cycle routing or desire
+        # bookkeeping at all — Phase B continues them straight off the
+        # owner table, which is the single-VC body-flit fast path.
         heads: Dict[VcKey, Flit] = {}
         wants: Dict[VcKey, List[VcKey]] = {}  # output -> ready head inputs
-        for ivc, queue in sorted_inputs:
-            committed = queue._committed
-            if not committed:
-                input_age[ivc] = 0
+        for ivc, queue in busy:
+            if input_alloc[ivc] is not None:
                 continue
-            flit = committed[0]
-            alloc = input_alloc[ivc]
-            if alloc is not None:
-                # mid-packet: continue on the allocated output
-                desires[ivc] = alloc
-                continue
-            if not flit.is_head:
+            flit = queue._committed[0]
+            if flit.seq != 0:
                 raise RuntimeError(
                     f"{self.name}:{ivc[0]}: body flit {flit!r} at front "
                     f"with no allocation (framing bug)"
                 )
             okey = (self._route(flit.dest), 0)
-            desires[ivc] = okey
             if wormhole:
                 # Wormhole heads depart whenever downstream has a slot —
                 # no need to count buffered flits of the front packet.
@@ -466,17 +466,17 @@ class Router(Component):
         output_owner = self._output_owner
         output_lock = self._output_lock
         lock_support = self.lock_support
+        arbiter = self.arbiter
+        sole_grant = self.stream_fast_path and arbiter.sole_pick_is_grant
         sent_inputs: List[VcKey] = []
         lock_stalled_any = False
         for okey, out_queue in self._sorted_outputs:
             owner = output_owner[okey]
             if owner is not None:
-                # Continue the in-flight packet; nobody else may interleave.
-                if (
-                    desires.get(owner) == okey
-                    and input_alloc[owner] == okey
-                    and out_queue.can_push()
-                ):
+                # Continue the in-flight packet; nobody else may
+                # interleave, so no candidates and no arbitration —
+                # just "flit buffered, room downstream".
+                if inputs[owner]._committed and out_queue.can_push():
                     self._transfer(owner, okey, cycle)
                     sent_inputs.append(owner)
                 continue
@@ -484,9 +484,20 @@ class Router(Component):
             if contenders is None:
                 continue
             out_port = okey[0]
+            holder = output_lock[out_port] if lock_support else None
+            if sole_grant and holder is None and len(contenders) == 1:
+                # Uncontested head: the winner is forced, so skip
+                # candidate construction and the policy call; the grant
+                # is still recorded so later round-robin ties break
+                # exactly as if pick() had run.
+                if out_queue.can_push():
+                    ivc = contenders[0]
+                    arbiter.note_sole_grant(out_port, self._ckey[ivc])
+                    self._transfer(ivc, okey, cycle)
+                    sent_inputs.append(ivc)
+                continue
             candidates: List[Candidate] = []
             lock_stalled = False
-            holder = output_lock[out_port] if lock_support else None
             for ivc in contenders:
                 flit = heads[ivc]
                 if holder is not None and holder != flit.src:
@@ -507,7 +518,7 @@ class Router(Component):
                 self.lock_stalls_by_output[out_port] += 1
             if not candidates or not out_queue.can_push():
                 continue
-            winner = self.arbiter.pick(out_port, candidates)
+            winner = arbiter.pick(out_port, candidates)
             ivc = self._ckey_to_ivc[winner.port]
             self._transfer(ivc, okey, cycle)
             sent_inputs.append(ivc)
@@ -516,17 +527,19 @@ class Router(Component):
             # stalled (the per-output detail is in lock_stalls_by_output).
             self.lock_stall_cycles += 1
 
-        # Phase C: age heads that waited.
-        for ivc, queue in sorted_inputs:
-            if queue._committed and ivc not in sent_inputs:
-                input_age[ivc] += 1
-            else:
+        # Phase C: age heads that waited.  Only inputs seen busy this
+        # cycle need touching — an input can only drain through our own
+        # transfers, which reset its age, so empty inputs are already 0.
+        for ivc, queue in busy:
+            if ivc in sent_inputs or not queue._committed:
                 input_age[ivc] = 0
+            else:
+                input_age[ivc] += 1
 
     # ------------------------------------------------------------------ #
     # the cycle, multi-VC flavour
     # ------------------------------------------------------------------ #
-    def _tick_vc(self, cycle: int) -> None:
+    def _tick_vc(self, cycle: int, busy: List[tuple]) -> None:
         """VC allocation -> switch allocation -> transfer, for vcs >= 2.
 
         Differences from the single-VC fast path: a head flit must win a
@@ -535,14 +548,20 @@ class Router(Component):
         candidate per (input port, VC) — so flits of different packets
         interleave on a physical output, one flit per cycle, which is
         exactly what defeats head-of-line blocking.
+
+        Body-flit fast path: an input VC holding an allocation skips VC
+        allocation, adaptive scoring and routing entirely (its held
+        grant *is* the decision), and an output port with a single
+        requesting VC skips candidate construction and the arbiter call
+        (the grant is still recorded; see Arbiter.note_sole_grant).
         """
-        sorted_inputs = self._sorted_inputs
         input_alloc = self._input_alloc
         input_head = self._input_head
         input_age = self._input_age
         output_owner = self._output_owner
         output_lock = self._output_lock
         lock_support = self.lock_support
+        outputs = self.outputs
         mode = self.mode
         wormhole = mode is SwitchingMode.WORMHOLE
 
@@ -564,17 +583,12 @@ class Router(Component):
         # front and room downstream becomes a switch-allocation request.
         wants: Dict[str, List[VcKey]] = {}  # physical out port -> input VCs
         lock_stalled_ports: List[str] = []
-        busy_ivcs: List[VcKey] = []  # input VCs with flits buffered
         adaptive = self.adaptive_table
-        for ivc, queue in sorted_inputs:
-            committed = queue._committed
-            if not committed:
-                continue
-            busy_ivcs.append(ivc)
-            flit = committed[0]
+        for ivc, queue in busy:
+            flit = queue._committed[0]
             alloc = input_alloc[ivc]
             if alloc is None:
-                if not flit.is_head:
+                if flit.seq != 0:
                     raise RuntimeError(
                         f"{self.name}:{ivc[0]}:vc{ivc[1]}: body flit {flit!r} "
                         f"at front with no allocation (framing bug)"
@@ -605,18 +619,28 @@ class Router(Component):
                 output_owner[okey] = ivc
                 input_alloc[ivc] = okey
                 input_head[ivc] = flit
-                alloc = okey
-            okey = alloc
-            if flit.is_head and not wormhole:
+            else:
+                okey = alloc
+            if flit.seq == 0 and not wormhole:
+                # Head under SAF/VCT (fresh or retrying): gate on the
+                # switching mode; wormhole heads just need a slot, below.
                 ready = mode.head_may_depart(
                     flits_buffered=self._flits_of_front_packet(queue, flit),
                     packet_flits=flit.count,
                     downstream_free=self._downstream_free(okey),
                 )
             else:
-                ready = self.outputs[okey].can_push()
+                # Streaming (or wormhole-head) request: flit buffered,
+                # room downstream — the held grant is the whole decision.
+                out_queue = outputs[okey]
+                capacity = out_queue.capacity
+                ready = capacity is None or out_queue._occ < capacity
             if ready:
-                wants.setdefault(okey[0], []).append(ivc)
+                out_port = okey[0]
+                if out_port in wants:
+                    wants[out_port].append(ivc)
+                else:
+                    wants[out_port] = [ivc]
         if lock_stalled_ports:
             self.lock_stall_cycles += 1
             for out_port in set(lock_stalled_ports):
@@ -624,11 +648,22 @@ class Router(Component):
 
         # Phase B: switch allocation — one flit per physical output and
         # per physical input port per cycle, QoS-arbitrated across VCs.
+        arbiter = self.arbiter
+        sole_grant = self.stream_fast_path and arbiter.sole_pick_is_grant
         sent_ivcs: List[VcKey] = []
         used_input_ports: set = set()
         for out_port in self._physical_outputs:
             contenders = wants.get(out_port)
             if contenders is None:
+                continue
+            if sole_grant and len(contenders) == 1:
+                ivc = contenders[0]
+                if ivc[0] in used_input_ports:
+                    continue  # input port already sent a flit this cycle
+                arbiter.note_sole_grant(out_port, self._ckey[ivc])
+                self._transfer(ivc, input_alloc[ivc], cycle)
+                sent_ivcs.append(ivc)
+                used_input_ports.add(ivc[0])
                 continue
             candidates: List[Candidate] = []
             for ivc in contenders:
@@ -648,19 +683,19 @@ class Router(Component):
                 )
             if not candidates:
                 continue
-            winner = self.arbiter.pick(out_port, candidates)
+            winner = arbiter.pick(out_port, candidates)
             ivc = self._ckey_to_ivc[winner.port]
             self._transfer(ivc, input_alloc[ivc], cycle)
             sent_ivcs.append(ivc)
             used_input_ports.add(ivc[0])
 
         # Phase C: age input VCs that waited with flits buffered.  Only
-        # the VCs seen non-empty in Phase V need touching: an input can
-        # only drain through our own transfers (committed items grow at
-        # the kernel's post-tick commit), so an empty input's age is
+        # the VCs seen non-empty in the busy scan need touching: an input
+        # can only drain through our own transfers (committed items grow
+        # at the kernel's post-tick commit), so an empty input's age is
         # already 0 — either it was empty last cycle too, or its last
         # flit left via a transfer that reset the age below.
-        for ivc in busy_ivcs:
+        for ivc, _queue in busy:
             if ivc in sent_ivcs:
                 input_age[ivc] = 0
             else:
@@ -673,12 +708,15 @@ class Router(Component):
         self.outputs[okey].push(flit)
         self.flits_forwarded += 1
         self.output_busy_cycles[out_port] += 1
+        seq = flit.seq
+        if seq != 0 and seq != flit.count - 1:
+            return  # body flit: no head/tail bookkeeping
         if flit.is_head:
             self._input_alloc[ivc] = okey
             self._output_owner[okey] = ivc
             self._input_head[ivc] = flit
             if self.vcs == 1:
-                self.simulator.trace.log(
+                self._simulator.trace.log(
                     cycle,
                     self.name,
                     "route",
@@ -687,7 +725,7 @@ class Router(Component):
                     via=out_port,
                 )
             else:
-                self.simulator.trace.log(
+                self._simulator.trace.log(
                     cycle,
                     self.name,
                     "route",
@@ -715,14 +753,14 @@ class Router(Component):
         if packet.opcode in _LOCK_SETTERS:
             self._output_lock[out_port] = head.src
             self._release_version += 1
-            self.simulator.trace.log(
+            self._simulator.trace.log(
                 cycle, self.name, "lock_set", port=out_port, master=head.src
             )
         elif packet.opcode in _LOCK_CLEARERS:
             if self._output_lock[out_port] == head.src:
                 self._output_lock[out_port] = None
                 self._release_version += 1
-                self.simulator.trace.log(
+                self._simulator.trace.log(
                     cycle, self.name, "lock_clear", port=out_port, master=head.src
                 )
 
