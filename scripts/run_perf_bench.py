@@ -29,6 +29,12 @@ builders (``benchmarks/conftest.py``):
   ``flits_vs_dor`` is the scenario headline — congestion-scored route
   choice forwards more flits through the same window because background
   flows route around the hotspot's backpressure tree.
+- ``degraded_hotspot`` — the adaptive hotspot fabric with one mid-run
+  link failure next to the hot target's home router.  Besides the
+  reference-vs-activity pair, the identical traffic is replayed with
+  the fault removed and ``throughput_retention_vs_healthy`` (degraded
+  completed txns over healthy) is the scenario headline — the
+  resilience SLA, hard-gated at >= 0.5.
 
 Each workload runs under ``Simulator(strict=True)`` (tick everything,
 commit everything) and under the default activity-driven kernel, and the
@@ -83,7 +89,7 @@ from benchmarks.conftest import (  # noqa: E402
 )
 from repro.ip.masters import random_workload, video_workload  # noqa: E402
 from repro.phys.link import LinkSpec  # noqa: E402
-from repro.soc import InitiatorSpec, TargetSpec  # noqa: E402
+from repro.soc import FaultSchedule, InitiatorSpec, TargetSpec  # noqa: E402
 from repro.transport import topology as topo  # noqa: E402
 
 
@@ -166,7 +172,9 @@ def build_vc_torus(strict: bool, scale: int):
     )
 
 
-def build_adaptive_hotspot(strict: bool, scale: int, routing: str = "adaptive"):
+def build_adaptive_hotspot(
+    strict: bool, scale: int, routing: str = "adaptive", faults=None
+):
     """4x4 torus, hotspot + background traffic, adaptive vs DOR.
 
     Six masters hammer one slow target ("hot", long latencies and a
@@ -211,12 +219,31 @@ def build_adaptive_hotspot(strict: bool, scale: int, routing: str = "adaptive"):
     kwargs = dict(
         topology=topo.torus(4, 4, endpoints=endpoints),
         strict_kernel=strict,
+        faults=faults,
     )
     if routing == "adaptive":
         kwargs.update(routing="adaptive", vcs=3, vc_policy="escape")
     else:
         kwargs.update(routing="dor", vcs=2, vc_policy="dateline")
     return build_noc(initiators, targets, **kwargs)
+
+
+def build_degraded_hotspot(strict: bool, scale: int, faulted: bool = True):
+    """The adaptive hotspot fabric with one mid-run link failure.
+
+    Identical traffic to ``adaptive_hotspot``, but at cycle 1000 the
+    link between the hot target's home router (0, 3) (endpoint 12, the
+    first target after the 12 initiators) and its neighbour (1, 3) goes
+    down permanently: the fault epoch recomputes the adaptive tables on
+    the surviving graph and every flow through that edge detours.  The
+    scenario headline is ``throughput_retention_vs_healthy`` — completed
+    transactions in the degraded window over the healthy replay's — the
+    resilience SLA the ISSUE pins at >= 0.5.
+    """
+    faults = (
+        FaultSchedule().link_down(1000, (0, 3), (1, 3)) if faulted else None
+    )
+    return build_adaptive_hotspot(strict, scale, faults=faults)
 
 
 def profile_workload(
@@ -274,6 +301,17 @@ def run_workload(
         "wheel_events": soc.sim.wheel_events,
         "final_active_components": soc.sim.active_count,
         "total_components": len(soc.sim.components),
+        # Fault/degraded-mode counters (0 on healthy fabrics).
+        "faults_hit": sum(
+            r.faults_hit
+            for plane in soc.fabric._planes
+            for r in plane.routers.values()
+        ),
+        "packets_rerouted": sum(
+            r.packets_rerouted
+            for plane in soc.fabric._planes
+            for r in plane.routers.values()
+        ),
     }
 
 
@@ -283,6 +321,7 @@ WORKLOADS = {
     "phys_gals": build_phys_gals,
     "vc_torus": build_vc_torus,
     "adaptive_hotspot": build_adaptive_hotspot,
+    "degraded_hotspot": build_degraded_hotspot,
 }
 
 
@@ -409,6 +448,7 @@ def main(argv=None) -> int:
         "phys_gals": 3_000 if args.quick else args.phys_cycles,
         "vc_torus": 3_000 if args.quick else args.vc_cycles,
         "adaptive_hotspot": 3_000 if args.quick else args.hotspot_cycles,
+        "degraded_hotspot": 3_000 if args.quick else args.hotspot_cycles,
     }
     scale = 1
     selected = {
@@ -508,6 +548,36 @@ def main(argv=None) -> int:
             )
             if activity["flits_forwarded"] <= dor["flits_forwarded"]:
                 print("!! adaptive_hotspot: adaptive did not beat DOR")
+                return 1
+        if name == "degraded_hotspot":
+            # Replay the identical traffic with the fault schedule
+            # removed: the scenario headline is the resilience SLA —
+            # completed transactions in the degraded window over the
+            # healthy replay's, which the ISSUE pins at >= 0.5.
+            healthy = run_workload(
+                lambda strict, sc: build_degraded_hotspot(
+                    strict, sc, faulted=False
+                ),
+                False, cycles, scale, repeats=args.repeats,
+            )
+            entry["healthy_replay"] = healthy
+            retention = (
+                activity["completed_txns"] / healthy["completed_txns"]
+                if healthy["completed_txns"]
+                else 0.0
+            )
+            entry["throughput_retention_vs_healthy"] = round(retention, 3)
+            print(
+                f"   healthy replay {healthy['completed_txns']} txns vs "
+                f"degraded {activity['completed_txns']} -> retention "
+                f"{retention:.2f} ({activity['packets_rerouted']} rerouted, "
+                f"{activity['faults_hit']} fault-degraded grants)"
+            )
+            if retention < 0.5:
+                print("!! degraded_hotspot: retention below the 0.5 SLA")
+                return 1
+            if activity["faults_hit"] == 0:
+                print("!! degraded_hotspot: the fault never degraded a grant")
                 return 1
         results[section][name] = entry
 

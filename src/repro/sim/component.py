@@ -151,6 +151,12 @@ class Component:
         cycles to the component's clock-domain edges itself; multi-domain
         components (physical links) must return edge-accurate cycles for
         any internal per-edge state of their own.
+
+        Components with externally-timetabled events (e.g. the fault
+        injector's cycle-stamped link-down/up edges) rely on this
+        contract to guarantee the event-wheel kernel never skips *over*
+        an edge: return the next scheduled cycle and the kernel will
+        land on it exactly, even if the whole fabric is otherwise quiet.
         """
         return now
 

@@ -14,7 +14,14 @@ from repro.sim.trace import Tracer
 
 
 class SimulationError(RuntimeError):
-    """Raised for kernel-level failures (deadlock, double registration...)."""
+    """Raised for kernel-level failures (deadlock, double registration...).
+
+    Subsystems raise *named* subclasses for conditions that deserve a
+    distinct ``except`` target — e.g.
+    :class:`repro.transport.faults.FabricPartitionError` when a fault
+    schedule severs all routes to a destination mid-run.  Catching
+    ``SimulationError`` still catches them all.
+    """
 
 
 #: Registration-order sort key for the wake merge (C-level accessor: the

@@ -123,6 +123,44 @@ class NocSoc:
                 merged.add(sample)
         return merged.summary()
 
+    def flow_stats(self) -> Dict[str, Dict[str, Dict[str, Dict[str, float]]]]:
+        """Per-flow latency percentiles — the fabric's SLA surface.
+
+        Every delivered packet's injection-to-delivery latency (in kernel
+        cycles, stamped at segmentation) is recorded by the ejection
+        ports; this groups the histograms per direction::
+
+            {"request"|"response": {
+                "priority": {prio: summary},          # per priority class
+                "pairs": {"src->dst": summary},       # per endpoint pair
+            }}
+
+        Each ``summary`` is :meth:`Histogram.summary` — count/mean/min/
+        p50/p95/p99/p999/max.  On a ``vc_separation`` fabric both
+        directions share one plane, so "request" and "response" return
+        the same merged histograms.
+        """
+        out: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
+        registry = self.sim.stats._histograms
+        for direction, plane in (
+            ("request", self.fabric.request_plane),
+            ("response", self.fabric.response_plane),
+        ):
+            prefix = f"{plane.name}.flow."
+            by_prio: Dict[str, Dict[str, float]] = {}
+            by_pair: Dict[str, Dict[str, float]] = {}
+            for name in sorted(registry):
+                if not name.startswith(prefix):
+                    continue
+                key = name[len(prefix):]
+                summary = registry[name].summary()
+                if key.startswith("prio"):
+                    by_prio[key[4:]] = summary
+                elif key.startswith("pair."):
+                    by_pair[key[5:]] = summary
+            out[direction] = {"priority": by_prio, "pairs": by_pair}
+        return out
+
     def total_completed(self) -> int:
         return sum(m.completed for m in self.masters.values())
 
@@ -203,6 +241,7 @@ class SocBuilder:
         vc_separation: bool = False,
         adaptive_vcs: Optional[int] = None,
         stream_fast_path: bool = True,
+        faults=None,
     ) -> None:
         self.name = name
         self.mode = mode
@@ -230,6 +269,10 @@ class SocBuilder:
         # tests/test_event_wheel.py); the knob exists so experiments and
         # regressions can run the slow path declaratively.
         self.stream_fast_path = stream_fast_path
+        # Deterministic fault schedule (PR 6): a
+        # :class:`~repro.transport.faults.FaultSchedule` applied to every
+        # plane of the fabric, validated at build time with named errors.
+        self.faults = faults
         self.initiators: List[InitiatorSpec] = []
         self.targets: List[TargetSpec] = []
 
@@ -406,6 +449,7 @@ class SocBuilder:
             vc_policy=self.vc_policy,
             vc_separation=self.vc_separation,
             stream_fast_path=self.stream_fast_path,
+            faults=self.faults,
         )
         address_map = self._build_address_map()
 

@@ -17,6 +17,14 @@ from typing import Dict, Optional
 from repro.niu.tag_policy import TagPolicy
 from repro.phys.clocking import ClockDomain
 from repro.phys.link import LinkSpec
+from repro.transport.faults import (
+    FabricPartitionError,
+    FaultConfigError,
+    FaultSchedule,
+    NoSurvivingPathError,
+    OverlappingFaultWindowError,
+    UnknownFaultTargetError,
+)
 from repro.transport.routing import (
     DatelineVcPolicy,
     EscapeVcPolicy,
@@ -28,11 +36,17 @@ __all__ = [
     "ClockDomain",
     "DatelineVcPolicy",
     "EscapeVcPolicy",
+    "FabricPartitionError",
+    "FaultConfigError",
+    "FaultSchedule",
     "InitiatorSpec",
     "KNOWN_PROTOCOLS",
     "LinkSpec",
+    "NoSurvivingPathError",
+    "OverlappingFaultWindowError",
     "PriorityVcPolicy",
     "TargetSpec",
+    "UnknownFaultTargetError",
     "VcPolicy",
 ]
 

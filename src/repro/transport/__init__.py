@@ -8,6 +8,17 @@ semantics.  The single, deliberate exception is the legacy LOCK family,
 which the paper itself concedes "impacts transport level".
 """
 
+from repro.transport.faults import (
+    FabricPartitionError,
+    FaultConfigError,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    NoSurvivingPathError,
+    OverlappingFaultWindowError,
+    UnknownFaultTargetError,
+    compute_degraded_tables,
+)
 from repro.transport.flit import Flit, Packetizer, Reassembler, flits_for_packet
 from repro.transport.flow_control import CreditCounter
 from repro.transport.network import BufferSizingError, Fabric, KindVcPolicy, Network
@@ -38,9 +49,16 @@ __all__ = [
     "DatelineVcPolicy",
     "EscapeVcPolicy",
     "Fabric",
+    "FabricPartitionError",
+    "FaultConfigError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
     "Flit",
     "KindVcPolicy",
     "Network",
+    "NoSurvivingPathError",
+    "OverlappingFaultWindowError",
     "Packetizer",
     "PriorityArbiter",
     "PriorityVcPolicy",
@@ -50,8 +68,10 @@ __all__ = [
     "RoutingError",
     "SwitchingMode",
     "Topology",
+    "UnknownFaultTargetError",
     "VcPolicy",
     "compute_adaptive_tables",
+    "compute_degraded_tables",
     "compute_dor_tables",
     "compute_routing_tables",
     "flits_for_packet",

@@ -1,0 +1,685 @@
+"""Fault injection and resilience: schedules, degraded routing, detection.
+
+A :class:`FaultSchedule` is a deterministic, cycle-stamped list of
+link-down/link-up and router-port-down/up events, validated against the
+topology at build time (named errors, see below) and attachable through
+``SocBuilder(faults=...)`` or per-link via
+:attr:`~repro.phys.link.LinkSpec.fault_windows`.  Faults are simulator
+state like everything else: the :class:`FaultInjector` is a regular
+:class:`~repro.sim.component.Component` registered *before* the plane's
+routers, so fault edges apply at the exact scheduled cycle, before any
+router ticks, identically under the strict reference kernel and the
+event-wheel kernel (its :meth:`~FaultInjector.next_event_cycle` is the
+next scheduled edge, so the wheel can never skip over one).
+
+Fault semantics: **transmit-side cut with drain.**  A downed link (or
+router output port) masks the *upstream* router's output for new
+allocations — no fresh packet is ever granted the port — while traffic
+already committed to it drains: phits handed to the physical link (its
+TX staging and shift/pipe/sync stages) complete delivery, and a packet
+whose head already won the output streams its remaining flits across
+the cut (a wormhole cannot be retracted mid-flight in this model; the
+alternative would strand flits with no retransmission layer to recover
+them).  Nothing is dropped and no credit leaks, by construction; the
+phits in flight at each cut are recorded in the
+``<plane>.faults.phits_in_flight_at_cut`` counter so the accounting is
+loud.  On a transparent (ideal-wire) link
+the "link" *is* the downstream input buffer, so masking the upstream
+output port is exactly the cut.  Injection-side NIU links are not
+faultable targets (fault the ``local:`` ejection port of an endpoint to
+model an unreachable device).
+
+Degraded-mode routing: on every fault epoch the injector recomputes the
+adaptive plane's candidate/escape tables on the *surviving* directed
+graph (see :func:`compute_degraded_tables`) and pushes them to the
+routers — a genuine reroute, not just dead-candidate filtering, so
+traffic detours around a failure even when every healthy-minimal
+neighbour is dead.  Deterministic planes (table/XY/DOR) keep their
+tables: a fault on a deterministic route makes the affected
+destinations unroutable, which the partition watchdog (below) detects.
+
+Partition detection: whenever any fault is active the injector arms a
+watchdog deadline (``partition_budget`` cycles past the last event that
+could still revive a target).  At the deadline it scans for provably
+stuck traffic — an input VC whose held output allocation points at a
+permanently dead port, or any buffered/pending packet whose destination
+is unroutable from where it sits — and raises
+:class:`FabricPartitionError` naming the first few.  A degraded but
+routable fabric re-arms and keeps watching; a healthy fabric disarms.
+The fabric therefore never wedges silently on a permanent fault.
+
+Known honest limitation: a LOCK/UNLOCK pair whose escape route changes
+*between* the two packets (the epoch flipped mid-sequence) can strand a
+port lock; the resulting stall is caught by the watchdog only if it
+makes a destination unroutable, otherwise by ``run_until``'s cycle
+budget.  Fault schedules and lock traffic should not be mixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.component import Component
+from repro.sim.kernel import SimulationError
+from repro.transport.routing import AdaptiveRoutingTable, port_local, port_to
+from repro.transport.topology import Topology, router_sort_key
+
+RouterId = Hashable
+DirectedEdge = Tuple[RouterId, RouterId]
+PortKey = Tuple[RouterId, str]
+
+
+class FaultConfigError(ValueError):
+    """Base class for build-time fault-schedule validation failures."""
+
+
+class UnknownFaultTargetError(FaultConfigError):
+    """A fault event references a link, router or port the topology lacks."""
+
+
+class OverlappingFaultWindowError(FaultConfigError):
+    """Down/up windows on one target overlap, repeat or never opened."""
+
+
+class NoSurvivingPathError(FaultConfigError):
+    """The schedule leaves some endpoint pair with no surviving path.
+
+    Raised at build time when any moment of the schedule disconnects two
+    endpoints on the router graph itself (so not even a recomputed
+    escape path survives).  Pass ``allow_partition=True`` to build such
+    a schedule anyway — the runtime watchdog then reports the partition
+    as a :class:`FabricPartitionError` when traffic actually hits it.
+    """
+
+
+class FabricPartitionError(SimulationError):
+    """Traffic is provably stuck behind a permanent fault (see module doc)."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One cycle-stamped fault edge.
+
+    ``kind`` is ``"link"`` (``target`` = canonically ordered router
+    pair; both directions go down/up together) or ``"port"``
+    (``target`` = ``(router, output port name)`` — a ``to:<neighbor>``
+    inter-router output or a ``local:<endpoint>`` ejection port).
+    """
+
+    cycle: int
+    kind: str
+    target: tuple
+    down: bool
+
+
+class FaultSchedule:
+    """Deterministic fault timeline, built fluently and validated at build.
+
+    ``partition_budget`` bounds how long after the last possibly-reviving
+    event the watchdog waits before scanning for stuck traffic;
+    ``allow_partition`` downgrades the build-time
+    :class:`NoSurvivingPathError` so runtime partition detection can be
+    exercised deliberately.
+    """
+
+    def __init__(
+        self,
+        partition_budget: int = 512,
+        allow_partition: bool = False,
+    ) -> None:
+        if partition_budget < 1:
+            raise FaultConfigError("partition_budget must be >= 1")
+        self.partition_budget = partition_budget
+        self.allow_partition = allow_partition
+        self._events: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # fluent builders
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_cycle(cycle: int) -> int:
+        if cycle < 0:
+            raise FaultConfigError(f"fault cycle must be >= 0, got {cycle}")
+        return cycle
+
+    @staticmethod
+    def _link_target(a: RouterId, b: RouterId) -> tuple:
+        return tuple(sorted((a, b), key=router_sort_key))
+
+    def link_down(self, cycle: int, a: RouterId, b: RouterId) -> "FaultSchedule":
+        """Both directions of the ``a``–``b`` link go down at ``cycle``."""
+        self._events.append(
+            FaultEvent(self._check_cycle(cycle), "link", self._link_target(a, b), True)
+        )
+        return self
+
+    def link_up(self, cycle: int, a: RouterId, b: RouterId) -> "FaultSchedule":
+        self._events.append(
+            FaultEvent(self._check_cycle(cycle), "link", self._link_target(a, b), False)
+        )
+        return self
+
+    def port_down(self, cycle: int, router: RouterId, port: str) -> "FaultSchedule":
+        """One router output port (``to:<n>`` or ``local:<ep>``) goes down."""
+        self._events.append(
+            FaultEvent(self._check_cycle(cycle), "port", (router, port), True)
+        )
+        return self
+
+    def port_up(self, cycle: int, router: RouterId, port: str) -> "FaultSchedule":
+        self._events.append(
+            FaultEvent(self._check_cycle(cycle), "port", (router, port), False)
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def events(self) -> List[FaultEvent]:
+        """Events ordered by cycle (stable: insertion order within one)."""
+        return sorted(self._events, key=lambda ev: ev.cycle)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def extended(self, events: Sequence[FaultEvent]) -> "FaultSchedule":
+        """A copy with ``events`` appended (keeps budget/allow flags)."""
+        merged = FaultSchedule(
+            partition_budget=self.partition_budget,
+            allow_partition=self.allow_partition,
+        )
+        merged._events = list(self._events) + list(events)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # build-time validation
+    # ------------------------------------------------------------------ #
+    def validate(self, topology: Topology) -> None:
+        """Raise a named :class:`FaultConfigError` subclass on a bad schedule.
+
+        Checks, in order: every event's target exists in ``topology``
+        (:class:`UnknownFaultTargetError`); per-target down/up windows
+        are well-formed — no double-down, no up-without-down, no
+        zero-length window (:class:`OverlappingFaultWindowError`); and no
+        moment of the replayed schedule disconnects an endpoint pair on
+        the surviving graph (:class:`NoSurvivingPathError`, unless
+        ``allow_partition``).
+        """
+        graph = topology.graph
+        for ev in self._events:
+            if ev.kind == "link":
+                a, b = ev.target
+                if a not in graph or b not in graph or not graph.has_edge(a, b):
+                    raise UnknownFaultTargetError(
+                        f"fault schedule: no link {a!r} -- {b!r} in "
+                        f"topology {topology.name!r}"
+                    )
+            else:
+                router, port = ev.target
+                if router not in graph:
+                    raise UnknownFaultTargetError(
+                        f"fault schedule: unknown router {router!r} in "
+                        f"topology {topology.name!r}"
+                    )
+                valid = {port_to(n) for n in graph.neighbors(router)}
+                valid.update(
+                    port_local(ep) for ep in topology.endpoints_at(router)
+                )
+                if port not in valid:
+                    raise UnknownFaultTargetError(
+                        f"fault schedule: router {router!r} has no output "
+                        f"port {port!r} (valid: {sorted(valid)})"
+                    )
+        # Window well-formedness: replay per target.
+        state: Dict[Tuple[str, tuple], Tuple[bool, int]] = {}
+        for ev in self.events:
+            key = (ev.kind, ev.target)
+            down, since = state.get(key, (False, -1))
+            if ev.down:
+                if down:
+                    raise OverlappingFaultWindowError(
+                        f"fault schedule: {ev.kind} {ev.target!r} taken down "
+                        f"at cycle {ev.cycle} but already down since cycle "
+                        f"{since} (overlapping down-windows)"
+                    )
+                state[key] = (True, ev.cycle)
+            else:
+                if not down:
+                    raise OverlappingFaultWindowError(
+                        f"fault schedule: {ev.kind} {ev.target!r} brought up "
+                        f"at cycle {ev.cycle} but was not down"
+                    )
+                if ev.cycle <= since:
+                    raise OverlappingFaultWindowError(
+                        f"fault schedule: {ev.kind} {ev.target!r} window "
+                        f"[{since}, {ev.cycle}) is empty — up must come "
+                        f"strictly after down"
+                    )
+                state[key] = (False, ev.cycle)
+        # Connectivity: no moment of the schedule may strand an endpoint
+        # pair on the graph itself (adaptive recompute can route around
+        # anything short of a true partition).
+        if self.allow_partition:
+            return
+        down_links: Set[DirectedEdge] = set()
+        down_ports: Set[PortKey] = set()
+        events = self.events
+        index = 0
+        while index < len(events):
+            cycle = events[index].cycle
+            while index < len(events) and events[index].cycle == cycle:
+                _apply_event(events[index], down_links, down_ports)
+                index += 1
+            stranded = unreachable_endpoint_pairs(topology, down_links, down_ports)
+            if stranded:
+                src, dst = stranded[0]
+                raise NoSurvivingPathError(
+                    f"fault schedule: from cycle {cycle} endpoint {src} has "
+                    f"no surviving path to endpoint {dst} (plus "
+                    f"{len(stranded) - 1} more stranded pairs) — not even an "
+                    f"escape route survives; pass allow_partition=True to "
+                    f"build anyway and rely on runtime partition detection"
+                )
+
+
+def _apply_event(
+    ev: FaultEvent,
+    down_links: Set[DirectedEdge],
+    down_ports: Set[PortKey],
+) -> None:
+    """Fold one event into the down-state sets (both link directions)."""
+    if ev.kind == "link":
+        a, b = ev.target
+        for edge in ((a, b), (b, a)):
+            if ev.down:
+                down_links.add(edge)
+            else:
+                down_links.discard(edge)
+    else:
+        if ev.down:
+            down_ports.add(ev.target)
+        else:
+            down_ports.discard(ev.target)
+
+
+def expand_link_spec_windows(
+    topology: Topology, link_spec
+) -> List[FaultEvent]:
+    """Per-link :attr:`LinkSpec.fault_windows` as schedule events.
+
+    A window ``(down, up)`` on the inter-router link spec applies to
+    *every* inter-router link of the plane (the spec describes a link
+    class, exactly as its width/pipeline fields do).
+    """
+    windows = getattr(link_spec, "fault_windows", ())
+    if not windows:
+        return []
+    events: List[FaultEvent] = []
+    edges = sorted(
+        (tuple(sorted(edge, key=router_sort_key)) for edge in topology.graph.edges),
+        key=lambda e: (router_sort_key(e[0]), router_sort_key(e[1])),
+    )
+    for a, b in edges:
+        for down, up in windows:
+            events.append(FaultEvent(down, "link", (a, b), True))
+            events.append(FaultEvent(up, "link", (a, b), False))
+    return events
+
+
+# ---------------------------------------------------------------------- #
+# surviving-graph route recomputation
+# ---------------------------------------------------------------------- #
+def _alive_adjacency(
+    topology: Topology,
+    down_links: Set[DirectedEdge],
+    down_ports: Set[PortKey],
+) -> Dict[RouterId, List[RouterId]]:
+    """Directed surviving adjacency: r -> neighbours its output can reach."""
+    alive: Dict[RouterId, List[RouterId]] = {}
+    for router in topology.routers:
+        alive[router] = [
+            n
+            for n in topology.neighbors(router)
+            if (router, n) not in down_links
+            and (router, port_to(n)) not in down_ports
+        ]
+    return alive
+
+
+def _reverse_distances(
+    alive: Dict[RouterId, List[RouterId]], home: RouterId
+) -> Dict[RouterId, int]:
+    """BFS hop distance *to* ``home`` along surviving directed edges."""
+    reverse: Dict[RouterId, List[RouterId]] = {r: [] for r in alive}
+    for router, neighbors in alive.items():
+        for n in neighbors:
+            reverse[n].append(router)
+    dist = {home: 0}
+    frontier = [home]
+    while frontier:
+        nxt: List[RouterId] = []
+        for node in frontier:
+            d = dist[node] + 1
+            for pred in reverse[node]:
+                if pred not in dist:
+                    dist[pred] = d
+                    nxt.append(pred)
+        frontier = nxt
+    return dist
+
+
+def compute_degraded_tables(
+    topology: Topology,
+    down_links: Set[DirectedEdge],
+    down_ports: Set[PortKey],
+    healthy_escape: Optional[Dict[RouterId, Dict[int, str]]] = None,
+) -> Tuple[Dict[RouterId, AdaptiveRoutingTable], Dict[RouterId, Set[int]]]:
+    """Adaptive tables recomputed on the surviving directed graph.
+
+    Candidate sets are the alive neighbours strictly closer to the
+    destination's home router under *surviving-graph* BFS distance — a
+    genuine reroute, so a router whose healthy-minimal neighbours all
+    died still forwards along the detour.  The escape entry keeps the
+    healthy deterministic (DOR/XY) port wherever it is still alive and
+    minimal, preserving the proven escape construction away from the
+    fault; elsewhere it falls back to the first surviving candidate (a
+    per-destination BFS tree — acyclic per destination but *not* proven
+    deadlock-free across destinations, which is why the partition
+    watchdog and ``run_until`` budgets stay armed while degraded).
+
+    Returns ``(tables, unroutable)`` where ``unroutable[router]`` is the
+    set of endpoints unreachable from that router this epoch (empty sets
+    omitted).  An endpoint whose ``local:`` ejection port is down is
+    unreachable from everywhere, including its home router.
+    """
+    alive = _alive_adjacency(topology, down_links, down_ports)
+    routers = topology.routers
+    candidates: Dict[RouterId, Dict[int, Tuple[str, ...]]] = {
+        r: {} for r in routers
+    }
+    escape: Dict[RouterId, Dict[int, str]] = {r: {} for r in routers}
+    unroutable: Dict[RouterId, Set[int]] = {}
+    big = 1 << 30
+    for endpoint in topology.endpoints:
+        home = topology.router_of(endpoint)
+        local_dead = (home, port_local(endpoint)) in down_ports
+        dist = {} if local_dead else _reverse_distances(alive, home)
+        for router in routers:
+            if router == home and not local_dead:
+                cands: Tuple[str, ...] = (port_local(endpoint),)
+            elif router in dist:
+                here = dist[router]
+                cands = tuple(
+                    port_to(n)
+                    for n in alive[router]
+                    if dist.get(n, big) < here
+                )
+            else:
+                cands = ()
+            candidates[router][endpoint] = cands
+            if cands:
+                choice = cands[0]
+                if healthy_escape is not None:
+                    preferred = healthy_escape[router].get(endpoint)
+                    if preferred in cands:
+                        choice = preferred
+                escape[router][endpoint] = choice
+            else:
+                unroutable.setdefault(router, set()).add(endpoint)
+    tables = {
+        r: AdaptiveRoutingTable(candidates[r], escape[r]) for r in routers
+    }
+    return tables, unroutable
+
+
+def unreachable_endpoint_pairs(
+    topology: Topology,
+    down_links: Set[DirectedEdge],
+    down_ports: Set[PortKey],
+) -> List[Tuple[int, int]]:
+    """Ordered endpoint pairs ``(src, dst)`` with no surviving path."""
+    alive = _alive_adjacency(topology, down_links, down_ports)
+    stranded: List[Tuple[int, int]] = []
+    endpoints = topology.endpoints
+    for dst in endpoints:
+        home = topology.router_of(dst)
+        if (home, port_local(dst)) in down_ports:
+            stranded.extend((src, dst) for src in endpoints if src != dst)
+            continue
+        dist = _reverse_distances(alive, home)
+        for src in endpoints:
+            if src != dst and topology.router_of(src) not in dist:
+                stranded.append((src, dst))
+    return stranded
+
+
+# ---------------------------------------------------------------------- #
+# runtime: one injector per plane
+# ---------------------------------------------------------------------- #
+class FaultInjector(Component):
+    """Applies a plane's fault schedule and watches for partitions.
+
+    Registered by :class:`~repro.transport.network.Network` *before* the
+    plane's routers, so an epoch's new fault state is visible to every
+    router tick of the same cycle under both kernels (registration order
+    is tick order).  ``next_event_cycle`` is the next scheduled fault
+    edge or watchdog deadline, which is what lets the event-wheel kernel
+    skip quiet stretches without ever skipping over a fault.
+    """
+
+    _next_event_known = True
+
+    def __init__(self, name: str, network, schedule: FaultSchedule) -> None:
+        super().__init__(name)
+        self.network = network
+        self.schedule = schedule
+        self._events = schedule.events
+        self._idx = 0
+        self.down_links: Set[DirectedEdge] = set()
+        self.down_ports: Set[PortKey] = set()
+        #: Bumped once per applied event batch; routers key their blocked-
+        #: head rescans off the matching _release_version bump.
+        self.fault_epoch = 0
+        #: ``(cycle, event)`` log of applied events (tests/introspection).
+        self.applied: List[Tuple[int, FaultEvent]] = []
+        self.budget = schedule.partition_budget
+        self._deadline: Optional[int] = None
+        self._unroutable: Dict[RouterId, FrozenSet[int]] = {}
+
+    # -- activity contract ------------------------------------------------
+    def is_idle(self) -> bool:
+        return self._idx >= len(self._events) and self._deadline is None
+
+    def next_event_cycle(self, now: int):
+        nxt = self._events[self._idx].cycle if self._idx < len(self._events) else None
+        if self._deadline is not None and (nxt is None or self._deadline < nxt):
+            nxt = self._deadline
+        if nxt is None:
+            return None
+        return nxt if nxt > now else now
+
+    # -- the cycle --------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        events = self._events
+        applied = False
+        while self._idx < len(events) and events[self._idx].cycle <= cycle:
+            self._apply(cycle, events[self._idx])
+            self._idx += 1
+            applied = True
+        if applied:
+            self._refresh(cycle)
+        if self._deadline is not None and cycle >= self._deadline:
+            self._check_partition(cycle)
+
+    def _apply(self, cycle: int, ev: FaultEvent) -> None:
+        if ev.kind == "link" and ev.down:
+            self._account_cut(ev.target)
+        elif ev.kind == "port" and ev.down and ev.target[1].startswith("to:"):
+            router, port = ev.target
+            neighbor = self.network.routers[router]._out_neighbor.get(port)
+            if neighbor is not None:
+                self._account_cut((router, neighbor), directed=True)
+        _apply_event(ev, self.down_links, self.down_ports)
+        self.applied.append((cycle, ev))
+
+    def _account_cut(self, target: tuple, directed: bool = False) -> None:
+        """Record phits in flight on a freshly downed link (they drain)."""
+        a, b = target
+        edges = ((a, b),) if directed else ((a, b), (b, a))
+        in_flight = 0
+        for edge in edges:
+            link = self.network._edge_links.get(edge)
+            if link is None:
+                continue  # transparent wire: nothing is ever in flight
+            in_flight += link.in_flight
+            in_flight += sum(
+                q.occupancy for q in self.network._edge_feeds.get(edge, ())
+            )
+        self.simulator.stats.counter(
+            f"{self.network.name}.faults.phits_in_flight_at_cut"
+        ).inc(in_flight)
+
+    def _refresh(self, cycle: int) -> None:
+        """Recompute routes/routability and push the new epoch to routers."""
+        net = self.network
+        degraded = bool(self.down_links or self.down_ports)
+        dead_by_router: Dict[RouterId, FrozenSet[str]] = {}
+        if degraded:
+            for a, b in self.down_links:
+                dead_by_router.setdefault(a, set()).add(port_to(b))  # type: ignore[attr-defined]
+            for router, port in self.down_ports:
+                dead_by_router.setdefault(router, set()).add(port)  # type: ignore[attr-defined]
+            dead_by_router = {
+                r: frozenset(ports) for r, ports in dead_by_router.items()
+            }
+        if net.routing == "adaptive":
+            if degraded:
+                tables, unroutable = compute_degraded_tables(
+                    net.topology,
+                    self.down_links,
+                    self.down_ports,
+                    healthy_escape={
+                        r: t.escape for r, t in net._adaptive_tables.items()
+                    },
+                )
+            else:
+                tables, unroutable = net._adaptive_tables, {}
+        else:
+            tables = None
+            unroutable = self._trace_unroutable(dead_by_router) if degraded else {}
+        self._unroutable = {
+            r: frozenset(eps) for r, eps in unroutable.items() if eps
+        }
+        self.fault_epoch += 1
+        empty: FrozenSet[str] = frozenset()
+        for rid, router in net.routers.items():
+            router.apply_fault_state(
+                dead_by_router.get(rid, empty),
+                degraded,
+                tables[rid] if tables is not None else None,
+            )
+        if degraded:
+            pending_up = [
+                ev.cycle for ev in self._events[self._idx :] if not ev.down
+            ]
+            base = max(pending_up) if pending_up else cycle
+            self._deadline = max(cycle, base) + self.budget
+        else:
+            self._deadline = None
+
+    def _trace_unroutable(
+        self, dead_by_router: Dict[RouterId, FrozenSet[str]]
+    ) -> Dict[RouterId, Set[int]]:
+        """Deterministic planes: follow each table path across dead ports."""
+        net = self.network
+        topology = net.topology
+        unroutable: Dict[RouterId, Set[int]] = {}
+        for endpoint in topology.endpoints:
+            reachable: Dict[RouterId, bool] = {}
+            for start in topology.routers:
+                chain: List[RouterId] = []
+                node = start
+                verdict: Optional[bool] = None
+                while verdict is None:
+                    known = reachable.get(node)
+                    if known is not None:
+                        verdict = known
+                        break
+                    chain.append(node)
+                    router = net.routers[node]
+                    port = router.table[endpoint]
+                    if port in dead_by_router.get(node, ()):
+                        verdict = False
+                    elif port.startswith("local:"):
+                        verdict = True
+                    else:
+                        node = router._out_neighbor[port]
+                for visited in chain:
+                    reachable[visited] = verdict
+                if not verdict:
+                    unroutable.setdefault(start, set()).add(endpoint)
+        return unroutable
+
+    # -- partition watchdog ----------------------------------------------
+    def _check_partition(self, cycle: int) -> None:
+        stuck = self._scan_stuck()
+        if stuck:
+            shown = "; ".join(stuck[:4])
+            more = f" (+{len(stuck) - 4} more)" if len(stuck) > 4 else ""
+            raise FabricPartitionError(
+                f"{self.name}: traffic stuck behind a permanent fault at "
+                f"cycle {cycle} (watchdog budget {self.budget}): {shown}{more}"
+            )
+        # Still degraded, nothing provably stuck yet: keep watching.
+        self._deadline = cycle + self.budget
+
+    def _scan_stuck(self) -> List[str]:
+        """Provably stuck traffic, in canonical order (deterministic)."""
+        net = self.network
+        stuck: List[str] = []
+        unroutable = self._unroutable
+        for rid in net.topology.routers:
+            router = net.routers[rid]
+            bad = unroutable.get(rid)
+            if not bad:
+                continue
+            for ivc, queue in router._sorted_inputs:
+                committed = queue._committed
+                if not committed:
+                    continue
+                flit = committed[0]
+                # In-flight streams always drain (allocations held across
+                # a cut keep streaming); only an unallocated head whose
+                # destination is unroutable from here is provably stuck.
+                if router._input_alloc[ivc] is None and flit.dest in bad:
+                    stuck.append(
+                        f"packet {flit.packet_id} at router {rid!r} bound "
+                        f"for unreachable endpoint {flit.dest}"
+                    )
+        for endpoint in net.topology.endpoints:
+            home = net.topology.router_of(endpoint)
+            bad = unroutable.get(home)
+            if not bad:
+                continue
+            port = net.injection_ports[endpoint]
+            for pending in port._pending:
+                if pending and pending[0].dest in bad:
+                    stuck.append(
+                        f"injection port {endpoint}: staged packet "
+                        f"{pending[0].packet_id} bound for unreachable "
+                        f"endpoint {pending[0].dest}"
+                    )
+                    break
+            for packet in port.packet_queue._committed:
+                if packet.route_destination in bad:
+                    stuck.append(
+                        f"injection port {endpoint}: queued packet bound "
+                        f"for unreachable endpoint {packet.route_destination}"
+                    )
+                    break
+        return stuck

@@ -38,6 +38,12 @@ from repro.phys.link import LinkSpec, PhysicalLink, VcPhysicalLink, domains_cros
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator
 from repro.sim.queue import SimQueue
+from repro.transport.faults import (
+    FaultConfigError,
+    FaultInjector,
+    FaultSchedule,
+    expand_link_spec_windows,
+)
 from repro.transport.flit import Flit, Packetizer, Reassembler, flits_for_packet
 from repro.transport.qos import make_arbiter
 from repro.transport.router import Router
@@ -235,9 +241,15 @@ class EjectionPort(Component):
         flit_queues: List[SimQueue],
         packet_queues: Union[SimQueue, Dict[PacketKind, SimQueue]],
         resequence: bool = False,
+        flow_prefix: Optional[str] = None,
     ) -> None:
         super().__init__(name)
         self.endpoint = endpoint
+        # Per-flow latency recording (soc.flow_stats()): every delivered
+        # packet's injection-to-delivery latency goes into registry
+        # histograms under "<flow_prefix>.prio<p>" and
+        # "<flow_prefix>.pair.<src>-><dst>".  None disables recording.
+        self._flow_prefix = flow_prefix
         self.flit_queues = list(flit_queues)
         self.vcs = len(self.flit_queues)
         if isinstance(packet_queues, SimQueue):
@@ -279,6 +291,17 @@ class EjectionPort(Component):
         head = self.reassemblers[vc]._current if not flit.is_head else flit
         assert head is not None and head.packet is not None
         return self._packet_queues[head.packet.kind]
+
+    def _record_flow(self, packet: NocPacket) -> None:
+        """Injection-to-delivery latency into the per-flow histograms."""
+        if self._flow_prefix is None or packet.injected_cycle < 0:
+            return
+        latency = self._simulator.cycle - packet.injected_cycle
+        stats = self._simulator.stats
+        stats.histogram(f"{self._flow_prefix}.prio{packet.priority}").add(latency)
+        stats.histogram(
+            f"{self._flow_prefix}.pair.{packet.route_source}->{self.endpoint}"
+        ).add(latency)
 
     def is_idle(self) -> bool:
         if any(self.flit_queues):
@@ -339,6 +362,7 @@ class EjectionPort(Component):
             if packet is not None:
                 packet_queue.push(packet)
                 self.packets_ejected += 1
+                self._record_flow(packet)
             return
         # One flit per cycle; hold a tail until its packet queue has room
         # so backpressure propagates into the fabric at packet granularity
@@ -366,6 +390,7 @@ class EjectionPort(Component):
             if packet is not None:
                 out_queue.push(packet)
                 self.packets_ejected += 1
+                self._record_flow(packet)
             self._last_vc = vc
             return
 
@@ -417,6 +442,7 @@ class EjectionPort(Component):
                 self._rob_count -= 1
                 expected += 1
                 self.packets_ejected += 1
+                self._record_flow(packet)
             self._expected[src] = expected
             if not pending:
                 del self._rob[src]
@@ -446,6 +472,7 @@ class Network:
         vc_policy=None,
         split_ejection_by_kind: bool = False,
         stream_fast_path: bool = True,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -492,6 +519,42 @@ class Network:
         else:
             adaptive_tables = None
             tables = compute_tables(topology, routing)
+        # Pristine tables, kept so the fault injector can restore them on
+        # a full heal (its recomputed tables are BFS-canonical, not DOR).
+        self._adaptive_tables = adaptive_tables
+
+        # Fault schedule: the explicit SocBuilder/Fabric schedule merged
+        # with per-link down-windows declared on the inter-router link
+        # spec, validated here (named FaultConfigError subclasses).  The
+        # injector is registered *before* the routers so a fault epoch is
+        # visible to every router tick of its cycle, under both kernels.
+        if getattr(self.endpoint_link_spec, "fault_windows", ()):
+            raise FaultConfigError(
+                f"{name}: endpoint (NIU) links are not faultable — move "
+                f"fault_windows onto the inter-router link_spec, or fault "
+                f"the endpoint's local: ejection port in a FaultSchedule"
+            )
+        window_events = expand_link_spec_windows(topology, self.link_spec)
+        schedule = faults if faults is not None else FaultSchedule()
+        if window_events:
+            # A link-spec window downs the whole link class at once — a
+            # transient full-plane brownout that the static connectivity
+            # check would reject, even though every window heals by
+            # construction (LinkSpec validates down < up) and the runtime
+            # watchdog defers its deadline past the last pending up-event.
+            # So: the explicit schedule keeps its own strictness, the
+            # merged one waives only the build-time partition check.
+            if schedule:
+                schedule.validate(topology)
+            schedule = schedule.extended(window_events)
+            schedule.allow_partition = True
+        self.fault_injector: Optional[FaultInjector] = None
+        self._edge_links: Dict[tuple, Optional[Union[PhysicalLink, VcPhysicalLink]]] = {}
+        self._edge_feeds: Dict[tuple, List[SimQueue]] = {}
+        if schedule:
+            schedule.validate(topology)
+            self.fault_injector = FaultInjector(f"{name}.faults", self, schedule)
+            sim.add(self.fault_injector)
         # Adaptive route choice is per packet, so one (source, dest)
         # pair's packets can arrive out of order; the transaction layer
         # is built on per-pair FIFO delivery, so adaptive planes stamp a
@@ -529,12 +592,23 @@ class Network:
         # a transparent spec degenerates to one shared queue per VC).
         for a, b in sorted(topology.graph.edges, key=_edge_sort_key):
             for src, dst in ((a, b), (b, a)):
+                links_before = len(self.links)
                 feeds, deliveries = self._build_link(
                     f"{name}.link.{src}->{dst}",
                     self.link_spec,
                     fabric_domain,
                     fabric_domain,
                 )
+                if len(self.links) > links_before:
+                    # Real link: the injector counts its staged/in-flight
+                    # phits when a fault cuts this edge (they drain).
+                    self._edge_links[(src, dst)] = self.links[-1]
+                    self._edge_feeds[(src, dst)] = feeds
+                else:
+                    # Transparent wire: the "link" is the downstream input
+                    # buffer itself, nothing is ever in flight.
+                    self._edge_links[(src, dst)] = None
+                    self._edge_feeds[(src, dst)] = []
                 for vc in range(self.vcs):
                     self.routers[src].add_output(
                         port_to(dst), feeds[vc], vc=vc, neighbor=dst
@@ -612,6 +686,7 @@ class Network:
                 ej_deliveries,
                 ej_packets,
                 resequence=self._sequenced,
+                flow_prefix=f"{name}.flow",
             )
             if ep_domain is not None:
                 eport.set_clock_domain(ep_domain)
@@ -860,6 +935,7 @@ class Fabric:
         vc_policy=None,
         vc_separation: bool = False,
         stream_fast_path: bool = True,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -894,6 +970,7 @@ class Fabric:
             endpoint_domains=endpoint_domains,
             vcs=vcs,
             stream_fast_path=stream_fast_path,
+            faults=faults,
         )
         if vc_separation:
             if vcs < 2 or vcs % 2:

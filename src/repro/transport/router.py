@@ -146,6 +146,14 @@ class Router(Component):
         # canonical iteration order per (port, vc) / per physical port
         self._port_keys: Dict[VcKey, tuple] = {}
         self._phys_out_keys: Dict[str, tuple] = {}
+        # Fault state (pushed by transport.faults.FaultInjector, which is
+        # registered before the routers so an epoch's state is visible to
+        # every router tick of the same cycle).  _dead_ports are this
+        # router's downed *output* ports; _healthy_adaptive keeps the
+        # pristine table so degraded grants can be classified.
+        self._dead_ports: frozenset = frozenset()
+        self._fault_degraded = False
+        self._healthy_adaptive = adaptive_table
         # stats
         self.flits_forwarded = 0
         self.packets_forwarded = 0
@@ -158,6 +166,15 @@ class Router(Component):
         self.lock_stall_cycles = 0
         self.lock_stalls_by_output: Dict[str, int] = {}
         self.output_busy_cycles: Dict[str, int] = {}
+        #: Packets granted an output while the plane was degraded and the
+        #: candidate set differed from healthy (faults_hit), resp. granted
+        #: a port outside the healthy-minimal set (packets_rerouted —
+        #: genuine detours around a failure).
+        self.faults_hit = 0
+        self.packets_rerouted = 0
+        #: Cycles in which at least one head or in-flight stream here was
+        #: blocked purely by a downed output port.
+        self.fault_stall_cycles = 0
 
     # ------------------------------------------------------------------ #
     # wiring (Network calls these during construction)
@@ -239,6 +256,34 @@ class Router(Component):
         )
         queue.wake_on_pop(self)
         return queue
+
+    def apply_fault_state(
+        self,
+        dead_ports: frozenset,
+        degraded: bool,
+        adaptive_table: Optional[AdaptiveRoutingTable] = None,
+    ) -> None:
+        """New fault epoch: downed outputs, degraded flag, swapped tables.
+
+        Called by the plane's :class:`~repro.transport.faults.FaultInjector`
+        once per applied event batch.  A downed output is a transmit-side
+        cut: no *new* packet is granted the port until it comes back,
+        while a packet whose head already won it drains across (a
+        wormhole cannot be retracted mid-flight; there is no
+        retransmission layer to recover stranded flits).  Adaptive
+        planes additionally receive the
+        surviving-graph tables (or their pristine healthy tables on full
+        heal).  The release-version bump invalidates every cached failed
+        allocation — blocked heads rescan under the new epoch — and the
+        wake covers the case where a heal un-blocks a router that was
+        idle-parked with frozen upstream traffic elsewhere.
+        """
+        self._dead_ports = dead_ports
+        self._fault_degraded = degraded
+        if self.adaptive_table is not None and adaptive_table is not None:
+            self.adaptive_table = adaptive_table
+        self._release_version += 1
+        self.wake()
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -326,6 +371,13 @@ class Router(Component):
         escape_on = self._escape_on
         escape_base = self._escape_base_vc
         ports = table.outputs(flit.dest)
+        if not ports:
+            # Destination unreachable this fault epoch: nothing to scan.
+            # The failure is cached against the epoch's release version
+            # (a heal bumps it) and the injector's watchdog reports the
+            # packet if the partition is permanent.
+            self._alloc_fail[ivc] = (self._release_version, flit)
+            return None
         # Ejection at the home router: single local port, keep the class.
         if ports[0][0] == "l":  # "local:..."
             port = ports[0]
@@ -393,6 +445,12 @@ class Router(Component):
             self.packets_escape += 1
         else:
             self.packets_adaptive += 1
+        if self._fault_degraded:
+            healthy = self._healthy_adaptive.candidates.get(flit.dest, ())
+            if ports != healthy:
+                self.faults_hit += 1
+                if best[0] not in healthy:
+                    self.packets_rerouted += 1
         return best
 
     # ------------------------------------------------------------------ #
@@ -435,6 +493,9 @@ class Router(Component):
         # owner table, which is the single-VC body-flit fast path.
         heads: Dict[VcKey, Flit] = {}
         wants: Dict[VcKey, List[VcKey]] = {}  # output -> ready head inputs
+        fault_degraded = self._fault_degraded
+        dead_ports = self._dead_ports
+        fault_blocked = False
         for ivc, queue in busy:
             if input_alloc[ivc] is not None:
                 continue
@@ -445,6 +506,9 @@ class Router(Component):
                     f"with no allocation (framing bug)"
                 )
             okey = (self._route(flit.dest), 0)
+            if fault_degraded and okey[0] in dead_ports:
+                fault_blocked = True
+                continue  # downed output: the head waits for a heal
             if wormhole:
                 # Wormhole heads depart whenever downstream has a slot —
                 # no need to count buffered flits of the front packet.
@@ -473,9 +537,11 @@ class Router(Component):
         for okey, out_queue in self._sorted_outputs:
             owner = output_owner[okey]
             if owner is not None:
-                # Continue the in-flight packet; nobody else may
-                # interleave, so no candidates and no arbitration —
-                # just "flit buffered, room downstream".
+                # Continue the in-flight packet (even on a downed output:
+                # a packet that already won the port drains across the
+                # cut, like phits in flight — only new grants are masked).
+                # Nobody else may interleave, so no candidates and no
+                # arbitration — just "flit buffered, room downstream".
                 if inputs[owner]._committed and out_queue.can_push():
                     self._transfer(owner, okey, cycle)
                     sent_inputs.append(owner)
@@ -526,6 +592,8 @@ class Router(Component):
             # At most one stall cycle per cycle, however many outputs
             # stalled (the per-output detail is in lock_stalls_by_output).
             self.lock_stall_cycles += 1
+        if fault_blocked:
+            self.fault_stall_cycles += 1
 
         # Phase C: age heads that waited.  Only inputs seen busy this
         # cycle need touching — an input can only drain through our own
@@ -584,6 +652,9 @@ class Router(Component):
         wants: Dict[str, List[VcKey]] = {}  # physical out port -> input VCs
         lock_stalled_ports: List[str] = []
         adaptive = self.adaptive_table
+        fault_degraded = self._fault_degraded
+        dead_ports = self._dead_ports
+        fault_blocked = False
         for ivc, queue in busy:
             flit = queue._committed[0]
             alloc = input_alloc[ivc]
@@ -608,6 +679,9 @@ class Router(Component):
                         continue  # no admissible candidate; retry next cycle
                 else:
                     out_port = self._route(flit.dest)
+                    if fault_degraded and out_port in dead_ports:
+                        fault_blocked = True
+                        continue  # downed output: the head waits for a heal
                     if lock_support:
                         holder = output_lock[out_port]
                         if holder is not None and holder != flit.src:
@@ -645,6 +719,8 @@ class Router(Component):
             self.lock_stall_cycles += 1
             for out_port in set(lock_stalled_ports):
                 self.lock_stalls_by_output[out_port] += 1
+        if fault_blocked:
+            self.fault_stall_cycles += 1
 
         # Phase B: switch allocation — one flit per physical output and
         # per physical input port per cycle, QoS-arbitrated across VCs.

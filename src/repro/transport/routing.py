@@ -438,6 +438,27 @@ class EscapeVcPolicy(VcPolicy):
     the adversarial tests freeze — to demonstrate that the escape VCs,
     not luck, provide the guarantee.
 
+    **Under faults** (a :class:`~repro.transport.faults.FaultSchedule`
+    attached to the plane), the argument weakens honestly rather than
+    silently.  What still holds: routers whose ports all survive keep
+    their DOR escape next-hops verbatim (the degraded recompute prefers
+    the healthy escape port wherever it is alive and still minimal, see
+    :func:`~repro.transport.faults.compute_degraded_tables`), so away
+    from the fault the dateline/DOR acyclicity argument is untouched;
+    and blocked heads still request escape every cycle.  What is *lost*:
+    at routers forced to detour, the escape entry falls back to a
+    BFS-tree port on the surviving graph — acyclic per destination but
+    with no cross-destination channel ordering — so degraded escape
+    routes are **not proven deadlock-free**.  What loudly fails instead
+    of wedging: the plane's
+    :class:`~repro.transport.faults.FaultInjector` keeps a partition
+    watchdog armed the whole time any fault is active, raising a named
+    :class:`~repro.transport.faults.FabricPartitionError` for provably
+    stuck traffic within its cycle budget, and ``run_until`` budgets
+    bound everything else.  A destination with *no* surviving path is
+    rejected at build time (:class:`NoSurvivingPathError`) unless
+    explicitly allowed.
+
     Injection maps priority classes onto the adaptive VCs (as
     :class:`PriorityVcPolicy` does over the whole space), keeping QoS
     isolation inside the adaptive class.

@@ -19,6 +19,7 @@ from repro.phys.clocking import ClockDomain
 from test_kernel_determinism import _fresh_global_ids  # noqa: F401
 from test_kernel_determinism import (
     build_adaptive_gals_soc,
+    build_faulted_adaptive_gals_soc,
     build_gals_soc,
     build_mixed_soc,
     build_vc_gals_soc,
@@ -272,6 +273,38 @@ class TestSkippingMatchesStrictOnSocs:
         # Post-drain cycles are free: virtually the whole stretch is
         # jumped over (a handful of steps may run at the boundary).
         assert skipped_after >= 49_900
+
+
+class TestFaultEdgesAndSkipping:
+    """A fault edge is an externally-timetabled event: the wheel may skip
+    any amount of quiet time but must land on the edge's exact cycle (the
+    injector's ``next_event_cycle`` is the next scheduled edge)."""
+
+    def test_fault_edges_in_quiet_window_land_exactly(self):
+        # The faulted GALS SoC's traffic drains well before cycle 400,
+        # so both fault edges (down 400, up 900) sit inside windows the
+        # wheel would otherwise skip straight over.
+        soc = build_faulted_adaptive_gals_soc(strict=False)
+        soc.run(5000)
+        injector = soc.fabric.request_plane.fault_injector
+        assert injector is not None
+        assert [(c, ev.down) for c, ev in injector.applied] == [
+            (400, True),
+            (900, False),
+        ]
+        # ...and skipping genuinely engaged around them.
+        assert soc.sim.cycles_skipped > 0
+
+    def test_faulted_soc_completes_through_both_edges(self):
+        soc = build_faulted_adaptive_gals_soc(strict=False)
+        soc.run_to_completion(max_cycles=400_000)
+        assert all(m.finished() for m in soc.masters.values())
+        assert soc.ordering_violations() == 0
+        injector = soc.fabric.request_plane.fault_injector
+        assert [(c, ev.down) for c, ev in injector.applied] == [
+            (400, True),
+            (900, False),
+        ]
 
 
 def _disable_fast_path(soc):

@@ -21,7 +21,13 @@ from repro.ip.masters import (
 )
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Tracer
-from repro.soc import InitiatorSpec, LinkSpec, SocBuilder, TargetSpec
+from repro.soc import (
+    FaultSchedule,
+    InitiatorSpec,
+    LinkSpec,
+    SocBuilder,
+    TargetSpec,
+)
 from repro.transport import topology as topo
 
 
@@ -262,6 +268,72 @@ def build_adaptive_gals_soc(strict):
     return builder.build()
 
 
+def build_faulted_adaptive_gals_soc(strict):
+    """The adaptive GALS SoC with a mid-run link failure and heal: fault
+    epochs flip route tables and mask ports while CDC and serialized
+    links are live, so this pins that fault application — and the
+    degraded-mode decision stream behind it — is byte-identical between
+    kernels (the wheel must land on each fault edge exactly)."""
+    soc = _build_gals_like(
+        strict,
+        routing="adaptive",
+        vcs=4,
+        faults=(FaultSchedule()
+                .link_down(400, (0, 0), (1, 0))
+                .link_up(900, (0, 0), (1, 0))),
+    )
+    return soc
+
+
+def _build_gals_like(strict, **extra):
+    _reset_ids()
+    ranges = [(0, 0x2000), (0x2000, 0x2000)]
+    builder = SocBuilder(
+        trace=Tracer(enabled=True),
+        strict_kernel=strict,
+        topology=topo.torus(3, 3, endpoints=5),
+        links={
+            "router": LinkSpec(phit_bits=48, pipeline_latency=1),
+            "endpoint": LinkSpec(phit_bits=96, sync_stages=3),
+        },
+        clock_domains={"cpu": 2, "io": (3, 1), "fab": 1},
+        fabric_region="fab",
+        **extra,
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "cpu_ahb", "AHB",
+            cpu_workload("cpu_ahb", ranges, count=15, seed=1),
+            region="cpu",
+        )
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "gpu_axi", "AXI",
+            random_workload(
+                "gpu_axi", ranges, count=15, seed=2, tags=4, rate=0.3,
+                burst_beats=(1, 4),
+            ),
+            protocol_kwargs={"id_count": 4},
+        )
+    )
+    builder.add_initiator(
+        InitiatorSpec(
+            "acc_msg", "PROPRIETARY",
+            dma_workload("acc_msg", base=0x1000, bytes_total=128),
+        )
+    )
+    builder.add_target(
+        TargetSpec("dram", size=0x2000, read_latency=6, write_latency=3,
+                   region="io")
+    )
+    builder.add_target(
+        TargetSpec("sram", size=0x2000, read_latency=2, write_latency=1,
+                   region="cpu")
+    )
+    return builder.build()
+
+
 def fingerprint(soc, cycles):
     soc.run(cycles)
     sim = soc.sim
@@ -283,6 +355,9 @@ def fingerprint(soc, cycles):
                 router.lock_stall_cycles,
                 router.packets_adaptive,
                 router.packets_escape,
+                router.faults_hit,
+                router.packets_rerouted,
+                router.fault_stall_cycles,
                 dict(router.output_busy_cycles),
             )
         for eport in plane.ejection_ports.values():
@@ -308,6 +383,7 @@ def fingerprint(soc, cycles):
         "initiator_nius": nius,
         "target_nius": tnius,
         "latencies": latencies,
+        "stats": sim.stats.histograms(),
         "trace": soc.sim.trace.dump(),
         "memory": soc.memory_image(),
         "completed": soc.total_completed(),
@@ -323,6 +399,7 @@ def fingerprint(soc, cycles):
         (build_gals_soc, 5000),
         (build_vc_gals_soc, 5000),
         (build_adaptive_gals_soc, 5000),
+        (build_faulted_adaptive_gals_soc, 5000),
     ],
     ids=[
         "mixed-protocols",
@@ -330,6 +407,7 @@ def fingerprint(soc, cycles):
         "gals-serialized-links",
         "vc-dateline-gals",
         "adaptive-escape-gals",
+        "faulted-adaptive-gals",
     ],
 )
 def test_activity_kernel_matches_reference(build, cycles):
