@@ -89,17 +89,30 @@ class OrderingChecker:
     strict: bool = True
     violations: List[str] = field(default_factory=list)
     _records: Dict[int, _IssueRecord] = field(default_factory=dict)
+    # Open (incomplete) records bucketed by ordering stream, each bucket in
+    # issue order.  A completion only ever needs to look at its own stream,
+    # so the check is O(open-in-stream) instead of O(all issues ever) —
+    # with thousands of completed transactions retained for post-run stats,
+    # the full scan dominated saturated-workload profiles.
+    _open_by_stream: Dict[Tuple[int, ...], Dict[int, _IssueRecord]] = field(
+        default_factory=dict
+    )
+    _open_count: int = 0
     _sequence: int = 0
 
     def issue(self, txn_id: int, thread: int = 0, txn_tag: int = 0) -> None:
         if txn_id in self._records:
             raise KeyError(f"txn {txn_id} already issued on {self.master!r}")
-        self._records[txn_id] = _IssueRecord(
+        record = _IssueRecord(
             txn_id=txn_id,
             sequence=self._sequence,
             thread=thread,
             txn_tag=txn_tag,
         )
+        self._records[txn_id] = record
+        key = self.model.stream_key(thread, txn_tag)
+        self._open_by_stream.setdefault(key, {})[txn_id] = record
+        self._open_count += 1
         self._sequence += 1
 
     def complete(self, txn_id: int) -> None:
@@ -109,25 +122,30 @@ class OrderingChecker:
         if record.completed:
             raise KeyError(f"txn {txn_id} completed twice")
         key = self.model.stream_key(record.thread, record.txn_tag)
-        for other in self._records.values():
-            if other.completed or other.txn_id == txn_id:
-                continue
-            if other.sequence < record.sequence:
-                if self.model.stream_key(other.thread, other.txn_tag) == key:
-                    message = (
-                        f"master {self.master!r} ({self.model.value}): response "
-                        f"for txn {txn_id} (seq {record.sequence}) overtook "
-                        f"txn {other.txn_id} (seq {other.sequence}) "
-                        f"in stream {key}"
-                    )
-                    if self.strict:
-                        raise OrderingViolation(message)
-                    self.violations.append(message)
+        stream = self._open_by_stream[key]
+        # Buckets hold only incomplete issues in issue order, so everything
+        # ahead of this record in its bucket is an overtaken transaction.
+        for other in stream.values():
+            if other.txn_id == txn_id:
+                break
+            message = (
+                f"master {self.master!r} ({self.model.value}): response "
+                f"for txn {txn_id} (seq {record.sequence}) overtook "
+                f"txn {other.txn_id} (seq {other.sequence}) "
+                f"in stream {key}"
+            )
+            if self.strict:
+                raise OrderingViolation(message)
+            self.violations.append(message)
         record.completed = True
+        del stream[txn_id]
+        if not stream:
+            del self._open_by_stream[key]
+        self._open_count -= 1
 
     @property
     def outstanding(self) -> int:
-        return sum(1 for r in self._records.values() if not r.completed)
+        return self._open_count
 
     @property
     def issued(self) -> int:
@@ -135,13 +153,15 @@ class OrderingChecker:
 
     @property
     def completed_count(self) -> int:
-        return sum(1 for r in self._records.values() if r.completed)
+        return len(self._records) - self._open_count
 
     def all_complete(self) -> bool:
         return self.outstanding == 0 and self.issued > 0
 
     def reset(self) -> None:
         self._records.clear()
+        self._open_by_stream.clear()
+        self._open_count = 0
         self._sequence = 0
         self.violations.clear()
 

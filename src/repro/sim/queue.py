@@ -22,6 +22,18 @@ registered with a :class:`~repro.sim.kernel.Simulator` also marks itself
 on the kernel's per-cycle *dirty list* at first push, so the kernel
 commits only queues that actually staged something instead of iterating
 every queue every cycle.
+
+Core contract
+-------------
+The router hot core (:mod:`repro.transport.router_core`) inlines
+:meth:`SimQueue.pop` and :meth:`SimQueue.push` on its transfer path.
+That inlining relies on invariants that are therefore part of this
+class's contract: ``_committed`` is a deque that is never rebound
+(cached references stay valid), ``_occ`` is committed + staged,
+``pop`` = counter/occupancy update + ``popleft`` + pop-waiter wakes,
+``push`` = capacity check (exact :class:`OverflowError` message) +
+stage + counters + first-push dirty-list registration.  Change any of
+these in both places, and keep the fields in ``__slots__``.
 """
 
 from __future__ import annotations
@@ -39,6 +51,11 @@ class WakeHooks:
     frees (``wake_on_pop``).  Waiters are immutable tuples so the hot
     wake loops iterate without copying.
     """
+
+    # No slots of its own (CdcFifo inherits a __dict__ from Component);
+    # the class-level defaults below serve subclasses that never touch
+    # the waiter tuples.  SimQueue shadows both with real slots.
+    __slots__ = ()
 
     _push_waiters: Tuple[Any, ...] = ()
     _pop_waiters: Tuple[Any, ...] = ()
@@ -66,6 +83,23 @@ class SimQueue(WakeHooks):
         Maximum number of items committed + staged.  ``None`` means
         unbounded (useful for sink-side scoreboards in tests).
     """
+
+    # Slotted: queue attribute access (_occ, _committed, capacity) is
+    # the single hottest operation in the simulator.
+    __slots__ = (
+        "name",
+        "capacity",
+        "_committed",
+        "_staged",
+        "_occ",
+        "total_pushed",
+        "total_popped",
+        "high_watermark",
+        "_kernel",
+        "_dirty",
+        "_push_waiters",
+        "_pop_waiters",
+    )
 
     def __init__(self, name: str, capacity: Optional[int] = 4) -> None:
         if capacity is not None and capacity < 1:

@@ -28,6 +28,7 @@ from repro.sim.trace import Tracer
 from repro.soc.config import EscapeVcPolicy, InitiatorSpec, TargetSpec
 from repro.transport import topology as topo_mod
 from repro.transport.network import Fabric
+from repro.transport.router_core import resolve_router_core
 from repro.transport.switching import SwitchingMode
 from repro.transport.topology import Topology
 
@@ -242,6 +243,7 @@ class SocBuilder:
         adaptive_vcs: Optional[int] = None,
         stream_fast_path: bool = True,
         faults=None,
+        router_core: Optional[str] = None,
     ) -> None:
         self.name = name
         self.mode = mode
@@ -273,6 +275,11 @@ class SocBuilder:
         # :class:`~repro.transport.faults.FaultSchedule` applied to every
         # plane of the fabric, validated at build time with named errors.
         self.faults = faults
+        # Router hot-core executor (PR 7): "object" | "array" | "batched".
+        # None resolves the REPRO_ROUTER_CORE env var, defaulting to the
+        # batched struct-of-arrays stepper; the determinism suite pins
+        # all three byte-identical (see transport.router_core).
+        self.router_core = router_core
         self.initiators: List[InitiatorSpec] = []
         self.targets: List[TargetSpec] = []
 
@@ -450,6 +457,7 @@ class SocBuilder:
             vc_separation=self.vc_separation,
             stream_fast_path=self.stream_fast_path,
             faults=self.faults,
+            router_core=resolve_router_core(self.router_core),
         )
         address_map = self._build_address_map()
 

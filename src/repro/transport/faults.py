@@ -490,6 +490,11 @@ class FaultInjector(Component):
         self.budget = schedule.partition_budget
         self._deadline: Optional[int] = None
         self._unroutable: Dict[RouterId, FrozenSet[int]] = {}
+        #: Watchdog parked: the plane is degraded but fully drained, so
+        #: nothing can become stuck until new traffic is injected.  The
+        #: injection-side wake hooks (below) re-arm the deadline then.
+        self._parked = False
+        self._injection_wakes_registered = False
 
     # -- activity contract ------------------------------------------------
     def is_idle(self) -> bool:
@@ -513,6 +518,15 @@ class FaultInjector(Component):
             applied = True
         if applied:
             self._refresh(cycle)
+        elif self._parked:
+            # Woken from the injection side while parked: if traffic is
+            # actually visible, it could wedge behind the standing fault,
+            # so the watchdog re-arms from scratch.  (Spurious wakes with
+            # a still-drained plane stay parked.)
+            if not self._plane_drained():
+                self._parked = False
+                self._deadline = cycle + self.budget
+            return
         if self._deadline is not None and cycle >= self._deadline:
             self._check_partition(cycle)
 
@@ -583,6 +597,7 @@ class FaultInjector(Component):
                 degraded,
                 tables[rid] if tables is not None else None,
             )
+        self._parked = False
         if degraded:
             pending_up = [
                 ev.cycle for ev in self._events[self._idx :] if not ev.down
@@ -635,8 +650,57 @@ class FaultInjector(Component):
                 f"{self.name}: traffic stuck behind a permanent fault at "
                 f"cycle {cycle} (watchdog budget {self.budget}): {shown}{more}"
             )
-        # Still degraded, nothing provably stuck yet: keep watching.
-        self._deadline = cycle + self.budget
+        # Still degraded, nothing provably stuck yet.  If every event has
+        # been applied (no heal can change routability) and the plane has
+        # fully drained, nothing can *become* stuck until new traffic is
+        # injected — park instead of re-arming every budget cycles, so an
+        # idle degraded fabric skips like a healthy one.  The injection
+        # wake hooks re-arm the watchdog when traffic reappears (tick).
+        if self._idx >= len(self._events) and self._plane_drained():
+            self._ensure_injection_wakes()
+            self._parked = True
+            self._deadline = None
+        else:
+            self._deadline = cycle + self.budget
+
+    def _plane_drained(self) -> bool:
+        """True when no traffic exists anywhere in this plane.
+
+        Checked only at watchdog deadlines and parked-wake ticks, so the
+        full sweep (injection ports, router input VCs, link pipes) stays
+        off the per-cycle path.  Occupancy reads include staged items, so
+        a push from earlier this cycle already counts.
+        """
+        net = self.network
+        for port in net.injection_ports.values():
+            if port.packet_queue._occ or any(port._pending):
+                return False
+        for router in net.routers.values():
+            for _ivc, queue in router._sorted_inputs:
+                if queue._occ:
+                    return False
+        for link in net._edge_links.values():
+            if link is not None and link.in_flight:
+                return False
+        for feeds in net._edge_feeds.values():
+            for queue in feeds:
+                if queue.occupancy:
+                    return False
+        return True
+
+    def _ensure_injection_wakes(self) -> None:
+        """Arm the park/re-arm path: new injection traffic wakes us.
+
+        Registered lazily at first park so healthy (or never-drained)
+        runs pay nothing; ``wake_on_push`` fires when packets *commit*
+        into an injection port's queue, which under both kernels is the
+        cycle before this injector could have observed them anyway.
+        """
+        if self._injection_wakes_registered:
+            return
+        self._injection_wakes_registered = True
+        for port in self.network.injection_ports.values():
+            port.packet_queue.wake_on_push(self)
 
     def _scan_stuck(self) -> List[str]:
         """Provably stuck traffic, in canonical order (deterministic)."""

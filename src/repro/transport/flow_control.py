@@ -32,6 +32,18 @@ class CreditCounter:
     cycle.
     """
 
+    # Slotted: one counter per link VC, consulted every phit cycle of
+    # every serialized link — attribute access is the hot operation.
+    __slots__ = (
+        "capacity",
+        "return_latency",
+        "_available",
+        "_in_flight",
+        "_now",
+        "total_consumed",
+        "total_returned",
+    )
+
     def __init__(self, capacity: int, return_latency: int = 1) -> None:
         if capacity < 1:
             raise ValueError("credit capacity must be >= 1")

@@ -47,6 +47,11 @@ from repro.transport.faults import (
 from repro.transport.flit import Flit, Packetizer, Reassembler, flits_for_packet
 from repro.transport.qos import make_arbiter
 from repro.transport.router import Router
+from repro.transport.router_core import (
+    ROUTER_CORES,
+    ArrayCore,
+    BatchedPlaneStepper,
+)
 from repro.transport.routing import (
     EscapeVcPolicy,
     VcPolicy,
@@ -473,6 +478,7 @@ class Network:
         split_ejection_by_kind: bool = False,
         stream_fast_path: bool = True,
         faults: Optional[FaultSchedule] = None,
+        router_core: str = "object",
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -562,6 +568,25 @@ class Network:
         # ejection (see EjectionPort).  Deterministic planes skip both.
         self._sequenced = routing == "adaptive"
         self._pair_seq: Dict[Tuple[int, int], int] = {}
+
+        # Router hot-core executor (see transport.router_core).  The
+        # batched stepper is registered immediately *before* the router
+        # block so its tick slot is exactly where the routers' would
+        # have been — execution order relative to the fault injector,
+        # links and endpoint ports is unchanged.
+        if router_core not in ROUTER_CORES:
+            raise ValueError(
+                f"{name}: router_core must be one of {ROUTER_CORES}, "
+                f"got {router_core!r}"
+            )
+        self.router_core = router_core
+        self.router_stepper: Optional[BatchedPlaneStepper] = None
+        if router_core == "batched":
+            stepper = BatchedPlaneStepper(f"{name}.rcore")
+            if fabric_domain is not None:
+                stepper.set_clock_domain(fabric_domain)
+            sim.add(stepper)
+            self.router_stepper = stepper
 
         self.routers: Dict[Hashable, Router] = {}
         for router_id in topology.routers:
@@ -693,6 +718,18 @@ class Network:
             sim.add(eport)
             self._eject_queues[endpoint] = ej_packets
             self.ejection_ports[endpoint] = eport
+
+        # Dense cores are frozen only now: every input/output of every
+        # router is wired, so the (port, vc) -> dense id maps are final.
+        if router_core != "object":
+            for router in self.routers.values():
+                core = ArrayCore(router)
+                if self.router_stepper is not None:
+                    self.router_stepper.adopt(core)
+                else:
+                    core.attach()
+            if self.router_stepper is not None:
+                self.router_stepper.freeze()
 
     # ------------------------------------------------------------------ #
     # build-time validation
@@ -936,6 +973,7 @@ class Fabric:
         vc_separation: bool = False,
         stream_fast_path: bool = True,
         faults: Optional[FaultSchedule] = None,
+        router_core: str = "object",
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -971,6 +1009,7 @@ class Fabric:
             vcs=vcs,
             stream_fast_path=stream_fast_path,
             faults=faults,
+            router_core=router_core,
         )
         if vc_separation:
             if vcs < 2 or vcs % 2:

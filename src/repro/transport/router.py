@@ -154,6 +154,13 @@ class Router(Component):
         self._dead_ports: frozenset = frozenset()
         self._fault_degraded = False
         self._healthy_adaptive = adaptive_table
+        # Dense hot-core executor bound to this router, if any (see
+        # transport.router_core).  When set, ``tick`` is rebound to the
+        # core's step function (and, under the batched stepper, ``wake``
+        # / ``is_idle`` are rebound too); the dict state above remains
+        # authoritative for wiring-time mutation and is written through
+        # by the core at every transition external readers depend on.
+        self._array_core = None
         # stats
         self.flits_forwarded = 0
         self.packets_forwarded = 0

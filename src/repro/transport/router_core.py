@@ -1,0 +1,1022 @@
+"""Struct-of-arrays router hot core: the array and batched executors.
+
+The object router (:class:`repro.transport.router.Router`) keeps its
+per-(input, VC) and per-(output, VC) state in dictionaries keyed by
+``(port name, vc)`` tuples.  That representation is ideal for wiring
+and introspection, but the tick hot path then pays dict hashing and
+tuple churn per flit.  This module packs the same state into flat
+parallel lists indexed by *dense ids* computed once at build time and
+re-implements the router's Phase R/V/A pipeline as a small interpreter
+over those arrays.  Three executors share one contract:
+
+``object``
+    The unmodified :meth:`Router.tick` — wiring-time reference, and
+    the implementation the strict kernel was validated against.
+``array``
+    :class:`ArrayCore` bound per router (``router.tick`` is rebound to
+    the core's step function).  Permanent pure-Python reference for
+    the dense layout; byte-identical to ``object`` by construction
+    (the step functions are line-for-line transliterations onto dense
+    indices) and pinned by ``tests/test_kernel_determinism.py``.
+``batched``
+    :class:`BatchedPlaneStepper`: one component per plane that steps
+    every busy router of the plane through its :class:`ArrayCore` in
+    canonical order each cycle, with flat active/pending masks
+    scheduling the sweep.  Routers stay registered (name lookups and
+    registration order are unchanged) but are neutralized — their
+    ``tick`` becomes a no-op, ``is_idle`` returns True so the kernel
+    retires them, and ``wake`` forwards to the stepper's pending mask.
+
+Layout contract (dense ``(port, vc)`` index scheme)
+---------------------------------------------------
+
+Input side — dense input id ``i`` enumerates ``Router._sorted_inputs``
+(canonical ``(port group, router_sort_key, vc)`` order, the router's
+arbitration order).  Arrays indexed by ``i``:
+
+==================  ====================================================
+``in_keys[i]``      the ``(port, vc)`` key (back-reference for syncing)
+``in_q[i]``         the input :class:`SimQueue`
+``in_commit[i]``    the queue's committed deque (stable object, cached)
+``in_port[i]``      port name string
+``in_vc[i]``        input VC number
+``in_phys[i]``      dense *physical input port* id (one-flit-per-input
+                    -port arbitration constraint)
+``in_ckey[i]``      arbitration candidate id handed to the Arbiter —
+                    must stay exactly the object router's strings
+                    (``port`` or ``port@vc<N>``) so arbiter grant
+                    history is executor-independent
+``alloc[i]``        dense output id of the held output VC, or -1
+``head[i]``         head flit of the in-flight packet, or None
+``age[i]``          starvation age (Phase C)
+``fail_ver[i]``     release-version stamp of a cached failed adaptive
+``fail_flit[i]``    allocation scan (``Router._alloc_fail``), flit
+                    identity-checked; ``fail_flit is None`` = no cache
+==================  ====================================================
+
+Output side — dense output id ``d`` enumerates ``_sorted_outputs``;
+because that list sorts by ``(port order, vc)`` all VCs of a physical
+port are contiguous and ascending, so ``d == phys_first[p] + vc``
+(asserted at build).  Arrays indexed by ``d``: ``out_keys``, ``out_q``,
+``out_port_name``, ``out_vc_num``, ``out_phys`` (the owning physical
+port id ``p``), ``owner`` (dense input id holding the VC, or -1).
+Physical outputs indexed by ``p``: ``phys_names`` (canonical
+``_physical_outputs`` order), ``phys_first``.
+
+State that stays on the router object (single source of truth, read or
+written through by the core): ``_output_lock`` (locks are per physical
+port and barely hot), all stats counters and per-port stat dicts,
+``_release_version``, ``table`` / ``adaptive_table`` / ``_dead_ports``
+/ ``_fault_degraded`` (fault epochs are detected by identity checks —
+the injector swaps whole objects).  The core *writes through* every
+``_input_alloc`` / ``_output_owner`` / ``_input_head`` transition so
+external readers (the fault injector's stuck-packet scan, tests) see
+the dict state they always did; ages and the fail cache are dense-only
+and written back by :meth:`ArrayCore.sync_to_router` (called on
+detach).
+
+Rules for adding a router field without breaking the executors:
+
+1. decide its index space (per input VC ``i``, per output VC ``d``,
+   per physical port ``p``) and add the parallel list next to its
+   siblings in :meth:`ArrayCore.__init__`;
+2. if the object router mutates it outside ``tick`` (fault epochs,
+   wiring), either read it through the router with an identity-check
+   refresh (see ``_dead_seen``) or leave it on the router entirely;
+3. if anything outside the router reads it mid-run, write it through
+   to the object-router dict at every transition (see the head/tail
+   bookkeeping in :meth:`_transfer`);
+4. extend :meth:`sync_to_router` / the pack loop in ``__init__`` so
+   attach → detach → attach round-trips, and extend the round-trip
+   test in ``tests/test_router_core.py``.
+
+Why the batched executor steps routers through the array path instead
+of vectorizing each phase plane-wide: routers of a plane interact
+through *shared* queues within a cycle (a pop frees the slot another
+router's capacity check reads the same cycle, in canonical order), so
+congestion scores and grant masks have a sequential dependency that a
+plane-wide numpy phase would break byte-for-byte.  The deterministic
+win available today is scheduling — one component, dense masks, no
+per-router kernel bookkeeping — and that is what this stepper does;
+the per-phase arrays are laid out so a compiled backend (a C/Cython
+loop preserving the sequential semantics; see ``COMPILED_BACKEND``)
+can consume them without another representation change.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.packet import PacketKind
+from repro.sim.component import Component
+from repro.transport.flit import Flit
+from repro.transport.qos import Candidate
+from repro.transport.router import _LOCK_CLEARERS, _LOCK_SETTERS, Router
+from repro.transport.switching import SwitchingMode
+
+# Optional compiled backend hook: a native module exporting
+# ``step_plane(cores, cycle)`` with the exact sequential semantics of
+# BatchedPlaneStepper.tick.  Not shipped here — the hook keeps the
+# selection logic (and its absence) in one place.
+try:  # pragma: no cover - no native module in this tree
+    import repro_router_core_native as COMPILED_BACKEND  # type: ignore
+except ImportError:
+    COMPILED_BACKEND = None
+
+ROUTER_CORES = ("object", "array", "batched")
+
+_FREE_UNBOUNDED = 1 << 30  # Router._downstream_free's "no capacity" score
+
+
+def resolve_router_core(requested: Optional[str] = None) -> str:
+    """Resolve the executor name: explicit arg > env > default.
+
+    ``REPRO_ROUTER_CORE`` overrides the default (used by the CI matrix
+    leg that keeps the object reference path green); the default is
+    ``batched``, the fastest executor.
+    """
+    if requested is None:
+        requested = os.environ.get("REPRO_ROUTER_CORE") or "batched"
+    if requested not in ROUTER_CORES:
+        raise ValueError(
+            f"router_core must be one of {ROUTER_CORES}, got {requested!r}"
+        )
+    return requested
+
+
+class RouterCoreLayoutError(RuntimeError):
+    """The router's wiring violates the dense-layout preconditions."""
+
+
+def _noop_tick(cycle: int) -> None:
+    """Neutralized router tick (batched mode: the stepper does the work)."""
+
+
+def _always_idle() -> bool:
+    """Neutralized router is_idle (batched mode: the kernel retires it)."""
+    return True
+
+
+class ArrayCore:
+    """Dense-array executor for one router (the ``array`` path).
+
+    Builds the dense layout from the router's *current* wiring and
+    state (so attach works mid-run), then serves as the router's tick
+    implementation.  See the module docstring for the layout contract.
+    """
+
+    def __init__(self, router: Router) -> None:
+        r = router
+        self.router = r
+        self.name = r.name
+        self.vcs = r.vcs
+
+        # ---------------- input side ----------------
+        in_items = list(r._sorted_inputs)
+        self.n_in = len(in_items)
+        self.in_keys: List[tuple] = [key for key, _q in in_items]
+        self.in_q = [q for _key, q in in_items]
+        self.in_commit = [q._committed for q in self.in_q]
+        self.in_port = [key[0] for key in self.in_keys]
+        self.in_vc = [key[1] for key in self.in_keys]
+        self.in_ckey = [r._ckey[key] for key in self.in_keys]
+        self.ckey_to_dense = {ck: i for i, ck in enumerate(self.in_ckey)}
+        phys_in: Dict[str, int] = {}
+        self.in_phys: List[int] = []
+        for port in self.in_port:
+            if port not in phys_in:
+                phys_in[port] = len(phys_in)
+            self.in_phys.append(phys_in[port])
+
+        # ---------------- output side ----------------
+        out_items = list(r._sorted_outputs)
+        self.n_out = len(out_items)
+        self.out_keys: List[tuple] = [key for key, _q in out_items]
+        self.out_q = [q for _key, q in out_items]
+        self.out_port_name = [key[0] for key in self.out_keys]
+        self.out_vc_num = [key[1] for key in self.out_keys]
+        self.phys_names = list(r._physical_outputs)
+        self.n_phys = len(self.phys_names)
+        self._phys_index = {name: p for p, name in enumerate(self.phys_names)}
+        self.phys_first = [-1] * self.n_phys
+        for d, (port, vc) in enumerate(self.out_keys):
+            if vc == 0:
+                self.phys_first[self._phys_index[port]] = d
+        self.out_phys = [self._phys_index[port] for port in self.out_port_name]
+        for d in range(self.n_out):
+            if d != self.phys_first[self.out_phys[d]] + self.out_vc_num[d]:
+                raise RouterCoreLayoutError(
+                    f"{self.name}: output VCs of {self.out_port_name[d]!r} "
+                    f"are not dense-contiguous (partial VC wiring?); the "
+                    f"array core needs every VC 0..vcs-1 of a physical "
+                    f"port wired, as Network always does"
+                )
+
+        # ---------------- state pack (from live router dicts) --------
+        dense_out = {key: d for d, key in enumerate(self.out_keys)}
+        dense_in = {key: i for i, key in enumerate(self.in_keys)}
+        self.alloc = [
+            -1 if r._input_alloc[key] is None else dense_out[r._input_alloc[key]]
+            for key in self.in_keys
+        ]
+        self.head: List[Optional[Flit]] = [
+            r._input_head[key] for key in self.in_keys
+        ]
+        self.age = [r._input_age[key] for key in self.in_keys]
+        self.fail_ver = [0] * self.n_in
+        self.fail_flit: List[Optional[Flit]] = [None] * self.n_in
+        for i, key in enumerate(self.in_keys):
+            cached = r._alloc_fail[key]
+            if cached is not None:
+                self.fail_ver[i] = cached[0]
+                self.fail_flit[i] = cached[1]
+        self.owner = [
+            -1 if r._output_owner[key] is None else dense_in[r._output_owner[key]]
+            for key in self.out_keys
+        ]
+
+        # ---------------- routing tables ----------------
+        self._adaptive = r.adaptive_table is not None
+        self._vc_mode = r.vcs > 1 or self._adaptive
+        if self._adaptive:
+            self._n_adaptive = r._n_adaptive
+            self._escape_on = r._escape_on
+            self._escape_base = r._escape_base_vc
+            self._healthy_candidates = r._healthy_adaptive.candidates
+            # per-dest candidate cache, invalidated when the injector
+            # swaps the table object (identity check per allocation)
+            self._adaptive_table = None
+            self._adaptive_cache: Dict[int, tuple] = {}
+            # escape VC of a hop is pure geometry: survives table swaps
+            self._escape_vc: Dict[Tuple[int, int], int] = {}
+        elif self.vcs == 1:
+            # dest -> dense output id (vc is always 0); misses defer to
+            # Router._route for the exact no-route KeyError
+            self.route_dense: Dict[int, int] = {}
+            for dest, port in r.table.items():
+                p = self._phys_index.get(port)
+                if p is not None:
+                    self.route_dense[dest] = self.phys_first[p]
+        else:
+            # deterministic multi-VC: dest -> physical out id, plus a
+            # lazy per-input cache of the (stateless) VC policy's choice
+            self.det_route_phys: Dict[int, int] = {}
+            for dest, port in r.table.items():
+                p = self._phys_index.get(port)
+                if p is not None:
+                    self.det_route_phys[dest] = p
+            self.det_vc: List[Dict[int, int]] = [{} for _ in range(self.n_in)]
+
+        # fault mask over physical outputs, refreshed by identity check
+        # on the epoch's frozenset (apply_fault_state swaps the object)
+        self._dead_seen: Optional[frozenset] = None
+        self._dead_mask = [False] * self.n_phys
+
+        # scratch: Phase A/V desire lists (reset after every step)
+        self._wants: List[Optional[List[int]]] = [None] * (
+            self.n_phys if self._vc_mode else self.n_out
+        )
+        self._step = self._tick_vc if self._vc_mode else self._tick_single
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def attach(self) -> None:
+        """Make this core the router's tick implementation (array mode)."""
+        self.router.tick = self.tick
+        self.router._array_core = self
+
+    def detach(self) -> None:
+        """Restore the object router, syncing dense-only state back."""
+        self.sync_to_router()
+        r = self.router
+        for attr in ("tick", "wake", "is_idle"):
+            r.__dict__.pop(attr, None)
+        r._array_core = None
+
+    def sync_to_router(self) -> None:
+        """Write dense-only state (ages, fail cache) back to the dicts.
+
+        Everything else — alloc/owner/head, locks, stats — is written
+        through at every transition, so after this call the object
+        router's state is exactly what it would have been had it run
+        the object tick all along.
+        """
+        r = self.router
+        input_age = r._input_age
+        alloc_fail = r._alloc_fail
+        for i, key in enumerate(self.in_keys):
+            input_age[key] = self.age[i]
+            flit = self.fail_flit[i]
+            alloc_fail[key] = None if flit is None else (self.fail_ver[i], flit)
+
+    # ------------------------------------------------------------------ #
+    # the cycle
+    # ------------------------------------------------------------------ #
+    def tick(self, cycle: int) -> None:
+        self.step(cycle)
+
+    def step(self, cycle: int) -> bool:
+        """One router cycle; returns False when provably a no-op."""
+        busy = [i for i, c in enumerate(self.in_commit) if c]
+        if not busy:
+            return False
+        dead = self.router._dead_ports
+        if dead is not self._dead_seen:
+            self._dead_seen = dead
+            phys_names = self.phys_names
+            mask = self._dead_mask
+            for p in range(self.n_phys):
+                mask[p] = phys_names[p] in dead
+        self._step(cycle, busy)
+        return True
+
+    def _tick_single(self, cycle: int, busy: List[int]) -> None:
+        """Single-VC wormhole switch (transliterates Router.tick)."""
+        r = self.router
+        alloc = self.alloc
+        age = self.age
+        in_commit = self.in_commit
+        out_q = self.out_q
+        mode = r.mode
+        wormhole = mode is SwitchingMode.WORMHOLE
+        route_dense = self.route_dense
+        fault_degraded = r._fault_degraded
+        dead_mask = self._dead_mask
+        fault_blocked = False
+        # Phase A: route heads with no allocation yet.
+        heads: Dict[int, Flit] = {}
+        wants = self._wants
+        touched: List[int] = []
+        for i in busy:
+            if alloc[i] >= 0:
+                continue
+            flit = in_commit[i][0]
+            if flit.seq != 0:
+                raise RuntimeError(
+                    f"{self.name}:{self.in_port[i]}: body flit {flit!r} at "
+                    f"front with no allocation (framing bug)"
+                )
+            d = route_dense.get(flit.dest)
+            if d is None:
+                # table miss: Router._route raises the canonical error
+                # (or resolves a late table extension, which we cache)
+                port = r._route(flit.dest)
+                d = self.phys_first[self._phys_index[port]]
+                route_dense[flit.dest] = d
+            if fault_degraded and dead_mask[d]:
+                fault_blocked = True
+                continue  # downed output: the head waits for a heal
+            queue = out_q[d]
+            if wormhole:
+                capacity = queue.capacity
+                ready = capacity is None or queue._occ < capacity
+            else:
+                capacity = queue.capacity
+                ready = mode.head_may_depart(
+                    flits_buffered=self._flits_of_front_packet(
+                        in_commit[i], flit
+                    ),
+                    packet_flits=flit.count,
+                    downstream_free=(
+                        _FREE_UNBOUNDED
+                        if capacity is None
+                        else capacity - queue._occ
+                    ),
+                )
+            if ready:
+                heads[i] = flit
+                contenders = wants[d]
+                if contenders is None:
+                    wants[d] = [i]
+                    touched.append(d)
+                else:
+                    contenders.append(i)
+
+        # Phase B: per-output arbitration and transfer.
+        owner = self.owner
+        output_lock = r._output_lock
+        lock_support = r.lock_support
+        arbiter = r.arbiter
+        sole_grant = r.stream_fast_path and arbiter.sole_pick_is_grant
+        in_ckey = self.in_ckey
+        out_names = self.out_port_name
+        sent: List[int] = []
+        lock_stalled_any = False
+        for d in range(self.n_out):
+            holder_in = owner[d]
+            if holder_in >= 0:
+                # Continue the in-flight packet: no candidates, no
+                # arbitration — just "flit buffered, room downstream".
+                queue = out_q[d]
+                capacity = queue.capacity
+                if in_commit[holder_in] and (
+                    capacity is None or queue._occ < capacity
+                ):
+                    self._transfer(holder_in, d, cycle)
+                    sent.append(holder_in)
+                continue
+            contenders = wants[d]
+            if contenders is None:
+                continue
+            out_port = out_names[d]
+            holder = output_lock[out_port] if lock_support else None
+            queue = out_q[d]
+            capacity = queue.capacity
+            if sole_grant and holder is None and len(contenders) == 1:
+                if capacity is None or queue._occ < capacity:
+                    i = contenders[0]
+                    arbiter.note_sole_grant(out_port, in_ckey[i])
+                    self._transfer(i, d, cycle)
+                    sent.append(i)
+                continue
+            candidates: List[Candidate] = []
+            lock_stalled = False
+            for i in contenders:
+                flit = heads[i]
+                if holder is not None and holder != flit.src:
+                    lock_stalled = True
+                    continue
+                packet = flit.packet
+                urgency = packet.user.get("urgency", 0) if packet else 0
+                candidates.append(
+                    Candidate(
+                        port=in_ckey[i],
+                        priority=flit.priority,
+                        age=age[i],
+                        urgency=urgency,
+                    )
+                )
+            if lock_stalled:
+                lock_stalled_any = True
+                r.lock_stalls_by_output[out_port] += 1
+            if not candidates or not (
+                capacity is None or queue._occ < capacity
+            ):
+                continue
+            winner = arbiter.pick(out_port, candidates)
+            i = self.ckey_to_dense[winner.port]
+            self._transfer(i, d, cycle)
+            sent.append(i)
+        for d in touched:
+            wants[d] = None
+        if lock_stalled_any:
+            r.lock_stall_cycles += 1
+        if fault_blocked:
+            r.fault_stall_cycles += 1
+
+        # Phase C: age heads that waited.
+        for i in busy:
+            if i in sent or not in_commit[i]:
+                age[i] = 0
+            else:
+                age[i] += 1
+
+    def _tick_vc(self, cycle: int, busy: List[int]) -> None:
+        """Multi-VC / adaptive switch (transliterates Router._tick_vc)."""
+        r = self.router
+        alloc = self.alloc
+        head = self.head
+        age = self.age
+        owner = self.owner
+        in_commit = self.in_commit
+        out_q = self.out_q
+        in_keys = self.in_keys
+        out_keys = self.out_keys
+        output_lock = r._output_lock
+        lock_support = r.lock_support
+        mode = r.mode
+        wormhole = mode is SwitchingMode.WORMHOLE
+        adaptive = r.adaptive_table
+        fault_degraded = r._fault_degraded
+        dead_mask = self._dead_mask
+        rel_ver = r._release_version
+        phys_first = self.phys_first
+        out_phys = self.out_phys
+        fail_ver = self.fail_ver
+        fail_flit = self.fail_flit
+        fault_blocked = False
+
+        # Phase V: VC allocation (Phase A folded in — every allocated
+        # input VC with a flit at the front and room downstream becomes
+        # a switch-allocation request).
+        wants = self._wants
+        touched: List[int] = []
+        lock_stalled_ports: List[str] = []
+        input_alloc = r._input_alloc
+        input_head = r._input_head
+        output_owner = r._output_owner
+        for i in busy:
+            flit = in_commit[i][0]
+            d = alloc[i]
+            if d < 0:
+                if flit.seq != 0:
+                    raise RuntimeError(
+                        f"{self.name}:{self.in_port[i]}:vc{self.in_vc[i]}: "
+                        f"body flit {flit!r} at front with no allocation "
+                        f"(framing bug)"
+                    )
+                if adaptive is not None:
+                    if fail_flit[i] is flit and fail_ver[i] == rel_ver:
+                        continue  # still blocked: nothing freed since
+                    d = self._allocate_adaptive(
+                        i, flit, lock_stalled_ports, rel_ver, adaptive
+                    )
+                    if d < 0:
+                        continue  # no admissible candidate; retry
+                else:
+                    p = self.det_route_phys.get(flit.dest)
+                    if p is None:
+                        port = r._route(flit.dest)
+                        p = self._phys_index[port]
+                        self.det_route_phys[flit.dest] = p
+                    if fault_degraded and dead_mask[p]:
+                        fault_blocked = True
+                        continue  # downed output: wait for a heal
+                    if lock_support:
+                        holder = output_lock[self.phys_names[p]]
+                        if holder is not None and holder != flit.src:
+                            lock_stalled_ports.append(self.phys_names[p])
+                            continue  # refused until UNLOCK passes
+                    vc_map = self.det_vc[i]
+                    out_vc = vc_map.get(p)
+                    if out_vc is None:
+                        out_vc = r._output_vc_for(
+                            in_keys[i], self.phys_names[p]
+                        )
+                        vc_map[p] = out_vc
+                    d = phys_first[p] + out_vc
+                    if owner[d] >= 0:
+                        continue  # output VC busy; retry next cycle
+                owner[d] = i
+                alloc[i] = d
+                head[i] = flit
+                # write-through: external readers (fault injector's
+                # stuck scan, tests) see the object-router dicts
+                okey = out_keys[d]
+                ikey = in_keys[i]
+                output_owner[okey] = ikey
+                input_alloc[ikey] = okey
+                input_head[ikey] = flit
+            if flit.seq == 0 and not wormhole:
+                queue = out_q[d]
+                capacity = queue.capacity
+                ready = mode.head_may_depart(
+                    flits_buffered=self._flits_of_front_packet(
+                        in_commit[i], flit
+                    ),
+                    packet_flits=flit.count,
+                    downstream_free=(
+                        _FREE_UNBOUNDED
+                        if capacity is None
+                        else capacity - queue._occ
+                    ),
+                )
+            else:
+                queue = out_q[d]
+                capacity = queue.capacity
+                ready = capacity is None or queue._occ < capacity
+            if ready:
+                p = out_phys[d]
+                contenders = wants[p]
+                if contenders is None:
+                    wants[p] = [i]
+                    touched.append(p)
+                else:
+                    contenders.append(i)
+        if lock_stalled_ports:
+            r.lock_stall_cycles += 1
+            stalls = r.lock_stalls_by_output
+            for out_port in set(lock_stalled_ports):
+                stalls[out_port] += 1
+        if fault_blocked:
+            r.fault_stall_cycles += 1
+
+        # Phase B: switch allocation — one flit per physical output and
+        # per physical input port per cycle, QoS-arbitrated across VCs.
+        arbiter = r.arbiter
+        sole_grant = r.stream_fast_path and arbiter.sole_pick_is_grant
+        in_ckey = self.in_ckey
+        in_phys = self.in_phys
+        sent: List[int] = []
+        used_input_ports: set = set()
+        for p in range(self.n_phys):
+            contenders = wants[p]
+            if contenders is None:
+                continue
+            out_port = self.phys_names[p]
+            if sole_grant and len(contenders) == 1:
+                i = contenders[0]
+                if in_phys[i] in used_input_ports:
+                    continue  # input port already sent a flit this cycle
+                arbiter.note_sole_grant(out_port, in_ckey[i])
+                self._transfer(i, alloc[i], cycle)
+                sent.append(i)
+                used_input_ports.add(in_phys[i])
+                continue
+            candidates: List[Candidate] = []
+            for i in contenders:
+                if in_phys[i] in used_input_ports:
+                    continue  # input port already sent a flit this cycle
+                hf = head[i]
+                assert hf is not None
+                packet = hf.packet
+                urgency = packet.user.get("urgency", 0) if packet else 0
+                candidates.append(
+                    Candidate(
+                        port=in_ckey[i],
+                        priority=hf.priority,
+                        age=age[i],
+                        urgency=urgency,
+                    )
+                )
+            if not candidates:
+                continue
+            winner = arbiter.pick(out_port, candidates)
+            i = self.ckey_to_dense[winner.port]
+            self._transfer(i, alloc[i], cycle)
+            sent.append(i)
+            used_input_ports.add(in_phys[i])
+        for p in touched:
+            wants[p] = None
+
+        # Phase C: age input VCs that waited with flits buffered.
+        for i in busy:
+            if i in sent:
+                age[i] = 0
+            else:
+                age[i] += 1
+
+    # ------------------------------------------------------------------ #
+    # allocation / transfer helpers
+    # ------------------------------------------------------------------ #
+    def _flits_of_front_packet(self, committed, head: Flit) -> int:
+        buffered = 0
+        count = head.count
+        packet_id = head.packet_id
+        for flit in committed:
+            if flit.packet_id != packet_id:
+                break
+            buffered += 1
+            if buffered == count:
+                break
+        return buffered
+
+    def _allocate_adaptive(
+        self,
+        i: int,
+        flit: Flit,
+        lock_stalled_ports: List[str],
+        rel_ver: int,
+        table,
+    ) -> int:
+        """Dense transliteration of Router._allocate_adaptive.
+
+        Returns the granted dense output id, or -1 (with the same
+        fail-cache / lock-stall side effects as the object code).
+        """
+        if table is not self._adaptive_table:
+            # fault epoch swapped the table: per-dest candidates change
+            self._adaptive_table = table
+            self._adaptive_cache = {}
+        r = self.router
+        dest = flit.dest
+        entry = self._adaptive_cache.get(dest)
+        if entry is None:
+            ports = table.outputs(dest)  # raises the canonical KeyError
+            if ports and ports[0][0] == "l":  # "local:..."
+                entry = (0, self._phys_index[ports[0]], ports)
+            elif not ports:
+                entry = (1, None, ports)
+            else:
+                phys_ids = tuple(self._phys_index[port] for port in ports)
+                if self._escape_on:
+                    eport = table.escape_port(dest)
+                    entry = (2, phys_ids, ports, eport, self._phys_index[eport])
+                else:
+                    entry = (2, phys_ids, ports, None, -1)
+            self._adaptive_cache[dest] = entry
+        tag = entry[0]
+        src = flit.src
+        lock_support = r.lock_support
+        output_lock = r._output_lock
+        owner = self.owner
+        if tag == 1:
+            # Destination unreachable this fault epoch: nothing to scan.
+            self.fail_ver[i] = rel_ver
+            self.fail_flit[i] = flit
+            return -1
+        if tag == 0:
+            # Ejection at the home router: single local port, keep the
+            # class (out VC = in VC).
+            p = entry[1]
+            if lock_support:
+                holder = output_lock[self.phys_names[p]]
+                if holder is not None and holder != src:
+                    lock_stalled_ports.append(self.phys_names[p])
+                    return -1
+            d = self.phys_first[p] + self.in_vc[i]
+            if owner[d] < 0:
+                return d
+            self.fail_ver[i] = rel_ver
+            self.fail_flit[i] = flit
+            return -1
+        phys_ids, ports, eport, eport_phys = entry[1], entry[2], entry[3], entry[4]
+        refused: List[str] = []
+        best = -1
+        best_free = -1
+        escape_on = self._escape_on
+        escape_base = self._escape_base
+        in_vc = self.in_vc[i]
+        out_q = self.out_q
+        phys_first = self.phys_first
+        phys_names = self.phys_names
+        from_escape = escape_on and in_vc >= escape_base
+        if not (from_escape or (escape_on and flit.lock_related)):
+            n_adaptive = self._n_adaptive
+            for p in phys_ids:
+                if lock_support:
+                    holder = output_lock[phys_names[p]]
+                    if holder is not None and holder != src:
+                        refused.append(phys_names[p])
+                        continue
+                base = phys_first[p]
+                for vc in range(n_adaptive):
+                    d = base + vc
+                    if owner[d] >= 0:
+                        continue
+                    queue = out_q[d]
+                    capacity = queue.capacity
+                    free = (
+                        _FREE_UNBOUNDED
+                        if capacity is None
+                        else capacity - queue._occ
+                    )
+                    if free > best_free:
+                        best = d
+                        best_free = free
+        if escape_on:
+            holder = output_lock[eport] if lock_support else None
+            if holder is not None and holder != src:
+                if eport not in refused:
+                    refused.append(eport)
+            else:
+                cache_key = (i, eport_phys)
+                evc = self._escape_vc.get(cache_key)
+                if evc is None:
+                    evc = r.vc_policy.escape_output_vc(
+                        r.router_id,
+                        r._in_neighbor.get(self.in_port[i]),
+                        r._out_neighbor[eport],
+                        in_vc,
+                        self.vcs,
+                    )
+                    self._escape_vc[cache_key] = evc
+                d = phys_first[eport_phys] + evc
+                if owner[d] < 0:
+                    queue = out_q[d]
+                    capacity = queue.capacity
+                    free = (
+                        _FREE_UNBOUNDED
+                        if capacity is None
+                        else capacity - queue._occ
+                    )
+                    if free > best_free:
+                        best = d
+                        best_free = free
+        if best < 0:
+            if refused:
+                lock_stalled_ports.extend(refused)
+            else:
+                # Nothing free and no lock involved: cached until an
+                # output VC is released (or a lock changes).
+                self.fail_ver[i] = rel_ver
+                self.fail_flit[i] = flit
+            return -1
+        if escape_on and self.out_vc_num[best] >= escape_base:
+            r.packets_escape += 1
+        else:
+            r.packets_adaptive += 1
+        if r._fault_degraded:
+            healthy = self._healthy_candidates.get(dest, ())
+            if ports != healthy:
+                r.faults_hit += 1
+                if self.out_port_name[best] not in healthy:
+                    r.packets_rerouted += 1
+        return best
+
+    def _transfer(self, i: int, d: int, cycle: int) -> None:
+        """Pop from input i, push to output d (inlined queue fast path).
+
+        The queue operations are SimQueue.pop/push inlined with the
+        exact counter, waiter-wake, dirty-list and overflow semantics
+        (see the "core contract" note in sim/queue.py).
+        """
+        r = self.router
+        inq = self.in_q[i]
+        inq.total_popped += 1
+        inq._occ -= 1
+        flit = self.in_commit[i].popleft()
+        for waiter in inq._pop_waiters:
+            waiter.wake()
+        out_vc = self.out_vc_num[d]
+        flit.vc = out_vc  # retag for the next link's VC
+        outq = self.out_q[d]
+        capacity = outq.capacity
+        if capacity is not None and outq._occ >= capacity:
+            raise OverflowError(
+                f"queue {outq.name!r} is full "
+                f"({len(outq._committed)} committed + "
+                f"{len(outq._staged)} staged"
+                f" / capacity {outq.capacity})"
+            )
+        outq._staged.append(flit)
+        outq._occ += 1
+        outq.total_pushed += 1
+        if not outq._dirty:
+            outq._dirty = True
+            kernel = outq._kernel
+            if kernel is not None:
+                kernel._dirty_queues.append(outq)
+        r.flits_forwarded += 1
+        out_port = self.out_port_name[d]
+        r.output_busy_cycles[out_port] += 1
+        seq = flit.seq
+        if seq != 0 and seq != flit.count - 1:
+            return  # body flit: no head/tail bookkeeping
+        okey = self.out_keys[d]
+        ikey = self.in_keys[i]
+        if seq == 0:
+            self.alloc[i] = d
+            self.owner[d] = i
+            self.head[i] = flit
+            r._input_alloc[ikey] = okey
+            r._output_owner[okey] = ikey
+            r._input_head[ikey] = flit
+            if self.vcs == 1:
+                r._simulator.trace.log(
+                    cycle,
+                    self.name,
+                    "route",
+                    packet=flit.packet_id,
+                    dest=flit.dest,
+                    via=out_port,
+                )
+            else:
+                r._simulator.trace.log(
+                    cycle,
+                    self.name,
+                    "route",
+                    packet=flit.packet_id,
+                    dest=flit.dest,
+                    via=out_port,
+                    vc=out_vc,
+                )
+        if seq == flit.count - 1:
+            hf = self.head[i]
+            assert hf is not None
+            self.alloc[i] = -1
+            self.owner[d] = -1
+            self.head[i] = None
+            r._input_alloc[ikey] = None
+            r._output_owner[okey] = None
+            r._input_head[ikey] = None
+            r._release_version += 1  # a freed VC invalidates fail caches
+            r.packets_forwarded += 1
+            if r.lock_support and hf.lock_related and hf.packet is not None:
+                self._update_lock(out_port, hf, cycle)
+
+    def _update_lock(self, out_port: str, head: Flit, cycle: int) -> None:
+        packet = head.packet
+        assert packet is not None
+        if packet.kind is not PacketKind.REQUEST:
+            return
+        r = self.router
+        if packet.opcode in _LOCK_SETTERS:
+            r._output_lock[out_port] = head.src
+            r._release_version += 1
+            r._simulator.trace.log(
+                cycle, self.name, "lock_set", port=out_port, master=head.src
+            )
+        elif packet.opcode in _LOCK_CLEARERS:
+            if r._output_lock[out_port] == head.src:
+                r._output_lock[out_port] = None
+                r._release_version += 1
+                r._simulator.trace.log(
+                    cycle, self.name, "lock_clear", port=out_port, master=head.src
+                )
+
+    # ------------------------------------------------------------------ #
+    # introspection (round-trip tests)
+    # ------------------------------------------------------------------ #
+    def state_fingerprint(self) -> dict:
+        """Canonical view of the packed state, flits by route fields."""
+
+        def fid(flit: Optional[Flit]):
+            return None if flit is None else flit.route_fields()
+
+        return {
+            "in_keys": list(self.in_keys),
+            "out_keys": list(self.out_keys),
+            "alloc": [
+                None if a < 0 else self.out_keys[a] for a in self.alloc
+            ],
+            "owner": [
+                None if o < 0 else self.in_keys[o] for o in self.owner
+            ],
+            "head": [fid(f) for f in self.head],
+            "age": list(self.age),
+            "fail": [
+                None
+                if self.fail_flit[i] is None
+                else (self.fail_ver[i], fid(self.fail_flit[i]))
+                for i in range(self.n_in)
+            ],
+        }
+
+
+class BatchedPlaneStepper(Component):
+    """Steps every busy router of one plane per cycle (``batched``).
+
+    Registered immediately *before* the plane's routers, so its tick
+    slot is exactly where the contiguous router block begins: within
+    the block routers interact only with each other, so executing them
+    all here in canonical order is order-identical to the object
+    schedule.  Routers are adopted after wiring: their ``tick`` becomes
+    a no-op, ``is_idle`` returns True (the kernel retires them on its
+    next sweep), and ``wake`` forwards into the pending mask — every
+    queue-borne wake the object router relied on lands here instead.
+
+    The active mask is a plain list of bools swept in index order (the
+    canonical order) with an activity counter beside it.  At realistic
+    plane sizes (tens of routers) that sweep is a fraction of a
+    microsecond; a numpy mask with ``flatnonzero`` was measured ~30x
+    slower per cycle here — per-call numpy overhead on tiny arrays
+    dwarfs the work.  Each busy router is stepped through its
+    :class:`ArrayCore` — see the module docstring for why the phases
+    are not vectorized plane-wide.
+    """
+
+    _next_event_known = True
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.cores: List[ArrayCore] = []
+        self._active: List[bool] = []
+        self._n_active = 0
+        self._pending: set = set()
+        self._frozen = False
+
+    def adopt(self, core: ArrayCore) -> None:
+        router = core.router
+        idx = len(self.cores)
+        self.cores.append(core)
+        router._array_core = core
+        router.tick = _noop_tick
+        router.is_idle = _always_idle
+        pending_add = self._pending.add
+        stepper_wake = self.wake
+
+        def _forward_wake(_idx: int = idx) -> None:
+            pending_add(_idx)
+            stepper_wake()
+
+        router.wake = _forward_wake
+        pending_add(idx)  # conservative: first tick no-ops it out
+        self.wake()
+
+    def freeze(self) -> None:
+        """Seal the core list (the mask list is sized here)."""
+        self._active = [False] * len(self.cores)
+        self._frozen = True
+
+    # ------------------------------------------------------------------ #
+    # activity contract
+    # ------------------------------------------------------------------ #
+    def is_idle(self) -> bool:
+        return not self._pending and not self._n_active
+
+    def next_event_cycle(self, now: int):
+        return None if self.is_idle() else now
+
+    def tick(self, cycle: int) -> None:
+        active = self._active
+        pending = self._pending
+        if pending:
+            n = self._n_active
+            for idx in pending:
+                if not active[idx]:
+                    active[idx] = True
+                    n += 1
+            self._n_active = n
+            pending.clear()
+        if not self._n_active:
+            return
+        cores = self.cores
+        n = self._n_active
+        for idx, busy in enumerate(active):
+            if busy and not cores[idx].step(cycle):
+                active[idx] = False
+                n -= 1
+        self._n_active = n

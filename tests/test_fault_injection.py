@@ -356,6 +356,67 @@ class TestPartitionDetection:
 
 
 # ---------------------------------------------------------------------- #
+# watchdog parking: idle degraded fabrics skip again (PR 7)
+# ---------------------------------------------------------------------- #
+class TestWatchdogParking:
+    def _net(self, sim, faults):
+        return Network(sim, topo.ring(4), routing="adaptive", vcs=3,
+                       faults=faults)
+
+    def test_parks_when_drained_and_rearms_on_injection(self):
+        # Permanent (never healed) cut on a still-connected ring: the
+        # fabric is degraded forever.  Pre-PR-7 the watchdog re-armed
+        # every partition_budget cycles even with nothing in flight,
+        # pinning the event wheel awake for the rest of the run.
+        sim = Simulator()
+        net = self._net(
+            sim, FaultSchedule(partition_budget=64).link_down(6, 0, 1)
+        )
+        net.inject(0, request(1, 0, txn_id=1))
+        received = []
+
+        def pump():
+            queue = net.ejected(1)
+            while queue:
+                received.append(queue.pop())
+            return bool(received)
+
+        sim.run_until(pump, max_cycles=5000)
+        injector = net.fault_injector
+        sim.run(2 * injector.budget + 8)
+        # drained + no heal pending -> parked, idle, wheel-skippable
+        assert injector._parked and injector._deadline is None
+        assert injector.is_idle()
+        skipped = sim.cycles_skipped
+        sim.run(5000)
+        assert sim.cycles_skipped - skipped >= 4000
+        # new traffic re-arms the watchdog from the injection wake path
+        received.clear()
+        net.inject(0, request(1, 0, txn_id=2))
+        sim.run(8)
+        assert not injector._parked and injector._deadline is not None
+        sim.run_until(pump, max_cycles=5000)
+        assert received[0].txn_id == 2
+
+    def test_rearmed_watchdog_still_detects_partition(self):
+        # Isolate router 2 with no traffic at all: the watchdog's first
+        # deadline finds nothing stuck and parks.  A packet injected
+        # toward the stranded endpoint must wake it back up and still
+        # produce the loud, bounded partition error.
+        sim = Simulator()
+        faults = FaultSchedule(partition_budget=64, allow_partition=True)
+        faults.link_down(6, 1, 2).link_down(6, 2, 3)
+        net = self._net(sim, faults)
+        sim.run(200)
+        injector = net.fault_injector
+        assert injector._parked and injector.is_idle()
+        net.inject(0, request(2, 0, txn_id=7))
+        with pytest.raises(FabricPartitionError):
+            sim.run(4 * injector.budget)
+        assert not injector._parked
+
+
+# ---------------------------------------------------------------------- #
 # in-flight phit accounting at a cut (drain semantics)
 # ---------------------------------------------------------------------- #
 class TestInFlightAccounting:

@@ -1,0 +1,234 @@
+"""Struct-of-arrays router core (PR 7): packing round-trips and flips.
+
+The dense executors (`array`, `batched`) freeze a router's wormhole
+state into flat parallel arrays; the object router stays the reference.
+Two properties make that safe to do at *any* moment, not just at build:
+
+- pack/unpack is lossless: building an :class:`ArrayCore` from a live
+  mid-wormhole router and syncing it back leaves every piece of object
+  state byte-identical, and re-packing yields the same canonical
+  fingerprint (``state_fingerprint``);
+- executors can be flipped mid-run: attaching/detaching cores at
+  arbitrary cycle boundaries — across lock ownership, fault epochs and
+  ejection resequencing — ends in exactly the run a single executor
+  would have produced (the full-SoC fingerprint from the determinism
+  suite).
+
+The cross-core byte-identity matrix itself lives in
+``test_kernel_determinism.py``; this file owns the state-migration
+surface.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.transaction as txn_mod
+import repro.transport.flit as flit_mod
+from repro.core.packet import NocPacket, PacketKind
+from repro.core.transaction import Opcode
+from repro.sim.kernel import Simulator
+from repro.transport import topology as topo
+from repro.transport.network import Network
+from repro.transport.router_core import ArrayCore, resolve_router_core
+from test_kernel_determinism import (
+    build_faulted_adaptive_gals_soc,
+    build_lock_soc,
+    fingerprint,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_global_ids():
+    txn_mod._txn_ids = itertools.count()
+    flit_mod._flit_packet_ids = itertools.count()
+    yield
+
+
+def _request(dest, src, beats=1, store=False):
+    return NocPacket(
+        kind=PacketKind.REQUEST,
+        opcode=Opcode.STORE if store else Opcode.LOAD,
+        slv_addr=dest,
+        mst_addr=src,
+        tag=0,
+        beats=beats,
+        payload=[0] * beats if store else None,
+        priority=0,
+        txn_id=-1,
+    )
+
+
+def _object_state(router):
+    """Everything the dense layout packs, as one comparable snapshot."""
+
+    def fid(flit):
+        return None if flit is None else flit.route_fields()
+
+    return {
+        "alloc": dict(router._input_alloc),
+        "head": {k: fid(f) for k, f in router._input_head.items()},
+        "age": dict(router._input_age),
+        "fail": {
+            k: None if v is None else (v[0], fid(v[1]))
+            for k, v in router._alloc_fail.items()
+        },
+        "owner": dict(router._output_owner),
+        "locks": dict(router._output_lock),
+        "inputs": {
+            k: [fid(f) for f in q._committed]
+            for k, q in router._sorted_inputs
+        },
+    }
+
+
+# One entry per fabric shape: (topology factory, Network kwargs).  The
+# mesh runs the single-VC switch (`_tick_single`); the rest run the
+# VC pipeline under DOR/dateline and adaptive/escape routing.
+FABRICS = [
+    ("mesh-1vc", lambda: topo.mesh(3, 3), {}),
+    ("star-1vc", lambda: topo.star(4), {}),
+    (
+        "torus-dor-2vc",
+        lambda: topo.torus(3, 3),
+        {"routing": "dor", "vcs": 2, "vc_policy": "dateline"},
+    ),
+    ("ring-adaptive-3vc", lambda: topo.ring(4), {"routing": "adaptive", "vcs": 3}),
+    (
+        "torus-adaptive-4vc",
+        lambda: topo.torus(4, 4),
+        {"routing": "adaptive", "vcs": 4},
+    ),
+]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    fabric=st.sampled_from(FABRICS),
+    seed=st.integers(0, 2**16),
+    n_packets=st.integers(1, 14),
+    cycles=st.integers(1, 80),
+)
+def test_pack_unpack_round_trip(fabric, seed, n_packets, cycles):
+    """Packing a live router and syncing back is lossless at any cycle."""
+    _label, make_topo, kwargs = fabric
+    flit_mod._flit_packet_ids = itertools.count()
+    sim = Simulator()
+    net = Network(sim, make_topo(), **kwargs)
+    rng = random.Random(seed)
+    endpoints = net.topology.endpoints
+    for _ in range(n_packets):
+        src, dest = rng.sample(endpoints, 2)
+        store = rng.random() < 0.5
+        if net.injection_ports[src].packet_queue.can_push():
+            net.inject(src, _request(dest, src, beats=rng.randint(1, 8),
+                                     store=store))
+        sim.run(rng.randint(0, 4))
+    # Stop mid-flight: wormholes held open, allocations live, alloc-fail
+    # caches warm — the adversarial moment to freeze the layout.
+    sim.run(cycles)
+    for router in net.routers.values():
+        before = _object_state(router)
+        core = ArrayCore(router)
+        packed = core.state_fingerprint()
+        core.sync_to_router()
+        assert _object_state(router) == before, (
+            f"{router.name}: pack+sync mutated object state"
+        )
+        repacked = ArrayCore(router)
+        assert repacked.state_fingerprint() == packed, (
+            f"{router.name}: fingerprint drifted across a round-trip"
+        )
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 2**16), cycles=st.integers(10, 120))
+def test_attach_detach_mid_run_preserves_delivery(seed, cycles):
+    """attach -> run -> detach -> run delivers exactly the object run."""
+    results = []
+    for flip in (False, True):
+        flit_mod._flit_packet_ids = itertools.count()
+        sim = Simulator()
+        net = Network(sim, topo.ring(4), routing="adaptive", vcs=3)
+        rng = random.Random(seed)
+        endpoints = net.topology.endpoints
+        for _ in range(10):
+            src, dest = rng.sample(endpoints, 2)
+            if net.injection_ports[src].packet_queue.can_push():
+                net.inject(src, _request(dest, src, beats=rng.randint(1, 6),
+                                         store=True))
+        sim.run(cycles)
+        if flip:
+            cores = [ArrayCore(r) for r in net.routers.values()]
+            for core in cores:
+                core.attach()
+        sim.run(cycles)
+        if flip:
+            for core in cores:
+                core.detach()
+        sim.run(400)
+        results.append({
+            name: (q.total_pushed, q.total_popped, q.high_watermark)
+            for name, q in sim._queue_names.items()
+        })
+    assert results[0] == results[1]
+
+
+def _flip_all_routers(soc):
+    """Toggle every router between the object and array executors."""
+    for plane in soc.fabric._planes:
+        for router in plane.routers.values():
+            core = router._array_core
+            if core is not None:
+                core.detach()
+            else:
+                ArrayCore(router).attach()
+
+
+@pytest.mark.parametrize(
+    "build, cycles",
+    [
+        (build_lock_soc, 3000),
+        (build_faulted_adaptive_gals_soc, 5000),
+    ],
+    ids=["legacy-lock", "faulted-adaptive-gals"],
+)
+def test_mid_run_core_flips_match_pure_runs(build, cycles, monkeypatch):
+    """Flip object<->array four times mid-matrix, across lock ownership
+    and fault epochs (the 0.09/0.13 boundaries straddle the faulted
+    workload's down-at-400/heal-at-900 window), and land on the exact
+    fingerprint of a never-flipped run."""
+    monkeypatch.setenv("REPRO_ROUTER_CORE", "object")
+    reference = fingerprint(build(strict=False), cycles)
+
+    monkeypatch.setenv("REPRO_ROUTER_CORE", "object")
+    soc = build(strict=False)
+    boundaries = [int(cycles * f) for f in (0.09, 0.13, 0.5, 0.8)]
+    previous = 0
+    for boundary in boundaries:
+        soc.run(boundary - previous)
+        previous = boundary
+        _flip_all_routers(soc)
+    flipped = fingerprint(soc, cycles - previous)
+    for key in reference:
+        assert flipped[key] == reference[key], (
+            f"{key} diverged after mid-run core flips"
+        )
+
+
+def test_resolve_router_core_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_ROUTER_CORE", raising=False)
+    assert resolve_router_core() == "batched"
+    assert resolve_router_core("object") == "object"
+    monkeypatch.setenv("REPRO_ROUTER_CORE", "array")
+    assert resolve_router_core() == "array"
+    # explicit argument wins over the environment
+    assert resolve_router_core("batched") == "batched"
+    with pytest.raises(ValueError):
+        resolve_router_core("simd")
+    monkeypatch.setenv("REPRO_ROUTER_CORE", "turbo")
+    with pytest.raises(ValueError):
+        resolve_router_core()
