@@ -48,7 +48,11 @@ stored in ``baselines.seed_v0`` with a provenance marker.  Quick runs
 additionally run the ``router_step`` microbenchmark — ns per
 router-cycle at full load for each router core executor (``object`` /
 ``array`` / ``batched``) — whose per-core numbers the CI perf gate
-bounds like any other workload (slower-than-threshold fails).
+bounds like any other workload (slower-than-threshold fails) — and the
+``sweep_fork`` benchmark: a 4-way design-space sweep forked warm from
+one checkpointed prefix vs the same sweep run cold, recording
+``warm_start_speedup`` (gated > 1x) and ``results_match`` (forked
+metrics must equal cold metrics per configuration).
 
 ``--check-against BASELINE.json`` turns the script into a perf gate: it
 fails (exit 1) if any selected workload's activity-kernel
@@ -76,8 +80,8 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import functools
 import io
-import itertools
 import json
 import os
 import platform
@@ -90,8 +94,6 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT))
 
-import repro.core.transaction as txn_mod  # noqa: E402
-import repro.transport.flit as flit_mod  # noqa: E402
 from benchmarks.conftest import (  # noqa: E402
     build_noc,
     mixed_initiators,
@@ -99,14 +101,21 @@ from benchmarks.conftest import (  # noqa: E402
 )
 from repro.ip.masters import random_workload, video_workload  # noqa: E402
 from repro.phys.link import LinkSpec  # noqa: E402
+from repro.sim.fingerprint import reset_ids  # noqa: E402
 from repro.soc import FaultSchedule, InitiatorSpec, TargetSpec  # noqa: E402
+from repro.sweep import Checkpoint, Override, fork  # noqa: E402
+from repro.sweep.fork import run_cold  # noqa: E402
 from repro.transport import topology as topo  # noqa: E402
 
 
 def _reset_global_ids() -> None:
-    """Fresh id streams per build so runs are comparable and repeatable."""
-    txn_mod._txn_ids = itertools.count()
-    flit_mod._flit_packet_ids = itertools.count()
+    """Fresh id streams per build so runs are comparable and repeatable.
+
+    Uses the shared :func:`repro.sim.fingerprint.reset_ids` (SerialCounter
+    streams, not bare ``itertools.count``) so the sweep_fork bench can
+    snapshot/restore the counters like any other state.
+    """
+    reset_ids()
 
 
 def build_idle_heavy(strict: bool, scale: int):
@@ -444,6 +453,95 @@ def run_router_step_bench(
     }
 
 
+#: Offered loads swept by the sweep_fork bench (gpu_axi traffic rate).
+SWEEP_RATES = (0.1, 0.3, 0.6, 0.9)
+
+
+def _build_sweep_soc():
+    """Congruent builder for the sweep_fork bench.
+
+    Open-loop traffic (huge count) so every forked continuation still has
+    load to differentiate the rate overrides; the fork machinery reseeds
+    the global id counters itself before each build."""
+    return build_noc(
+        mixed_initiators(count=100_000, rate=0.3),
+        mixed_targets(),
+        strict_kernel=False,
+    )
+
+
+def _set_sweep_rate(rate, soc):
+    soc.masters["gpu_axi"].traffic.rate = rate
+
+
+def run_sweep_fork_bench(
+    prefix_cycles: int = 4_000, run_cycles: int = 1_000
+) -> dict:
+    """Warm-start design-space sweep vs the same sweep run cold.
+
+    Warm path: run the common prefix once, :meth:`Checkpoint.capture` it,
+    then :func:`fork` one continuation per rate override (serial, so the
+    wall-clock comparison is apples-to-apples with the serial cold loop).
+    Cold path: one full prefix + continuation per override, applying the
+    identical override at the identical cycle.  ``warm_start_speedup``
+    (cold wall over warm wall) is the headline the perf gate requires
+    > 1x on this 4-way sweep, and ``results_match`` pins that forking is
+    a pure wall-clock optimisation — every forked configuration's metrics
+    equal its cold run's.
+    """
+    overrides = [
+        Override(name=f"rate={rate}",
+                 apply=functools.partial(_set_sweep_rate, rate))
+        for rate in SWEEP_RATES
+    ]
+    t0 = time.perf_counter()
+    _reset_global_ids()
+    soc = _build_sweep_soc()
+    soc.run(prefix_cycles)
+    checkpoint = Checkpoint.capture(soc)
+    report = fork(
+        checkpoint, overrides, builder=_build_sweep_soc,
+        cycles=run_cycles, processes=0,
+    )
+    warm_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cold = {
+        override.name: run_cold(
+            _build_sweep_soc, override, prefix_cycles, run_cycles
+        )
+        for override in overrides
+    }
+    cold_s = time.perf_counter() - t0
+
+    results_match = all(
+        report["configs"][name]["metrics"] == metrics
+        for name, metrics in cold.items()
+    )
+    speedup = cold_s / warm_s if warm_s else 0.0
+    print(
+        f"   sweep_fork: warm {warm_s:.3f}s vs cold {cold_s:.3f}s over "
+        f"{len(overrides)} configs -> warm_start_speedup {speedup:.2f}x "
+        f"(results_match={results_match})"
+    )
+    return {
+        "prefix_cycles": prefix_cycles,
+        "run_cycles": run_cycles,
+        "sweep_width": len(overrides),
+        "warm_s": round(warm_s, 4),
+        "cold_s": round(cold_s, 4),
+        "warm_start_speedup": round(speedup, 2),
+        "results_match": results_match,
+        "configs": {
+            name: {
+                "completed": entry["metrics"]["completed"],
+                "flits_forwarded": entry["metrics"]["flits_forwarded"],
+            }
+            for name, entry in report["configs"].items()
+        },
+    }
+
+
 def check_against(
     baseline_path: Path, results: dict, threshold: float, section: str
 ) -> int:
@@ -470,6 +568,24 @@ def check_against(
     regressions = 0
     for name, entry in sorted(results[section].items()):
         base_entry = baseline.get(section, {}).get(name)
+        if name == "sweep_fork":
+            # Absolute gates, not baseline-relative: forking a warmed
+            # prefix must beat paying the prefix per configuration, and
+            # must change nothing observable (fork == cold, per config).
+            speedup = entry.get("warm_start_speedup", 0.0)
+            match = entry.get("results_match", False)
+            verdict = "ok"
+            if speedup <= 1.0:
+                verdict = "REGRESSION (warm start did not beat cold runs)"
+                regressions += 1
+            elif not match:
+                verdict = "REGRESSION (forked metrics != cold metrics)"
+                regressions += 1
+            print(
+                f"   perf-gate sweep_fork: warm_start_speedup "
+                f"{speedup:.2f}x, results_match={match} {verdict}"
+            )
+            continue
         if name == "router_step":
             # The microbench gates ns per router-cycle per executor:
             # *lower* is better, so the threshold bounds the slowdown.
@@ -725,6 +841,8 @@ def main(argv=None) -> int:
     if args.quick and not args.workload:
         print("== router_step microbench ==")
         results[section]["router_step"] = run_router_step_bench()
+        print("== sweep_fork (warm-start sweep vs cold sweep) ==")
+        results[section]["sweep_fork"] = run_sweep_fork_bench()
 
     # Every full-window workload gets a speedup_vs_seed_v0: workloads
     # missing from the recorded seed baseline (they postdate it) get a

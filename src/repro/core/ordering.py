@@ -20,6 +20,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.sim.snapshot import Snapshottable
+
 
 class OrderingModel(enum.Enum):
     """The three socket ordering disciplines the layer must absorb."""
@@ -72,7 +74,7 @@ class _IssueRecord:
 
 
 @dataclass
-class OrderingChecker:
+class OrderingChecker(Snapshottable):
     """Scoreboard validating observed completion order per master.
 
     Usage: call :meth:`issue` when the master hands a transaction to its
@@ -99,6 +101,16 @@ class OrderingChecker:
     )
     _open_count: int = 0
     _sequence: int = 0
+
+    # _open_by_stream buckets alias the _IssueRecord objects in _records;
+    # the checkpoint layer's shared-memo deepcopy preserves that aliasing.
+    _snapshot_fields = (
+        "violations",
+        "_records",
+        "_open_by_stream",
+        "_open_count",
+        "_sequence",
+    )
 
     def issue(self, txn_id: int, thread: int = 0, txn_tag: int = 0) -> None:
         if txn_id in self._records:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.core.packet import UserBit
+from repro.sim.snapshot import Snapshottable
 
 #: The paper's single optional packet bit for exclusive accesses.
 EXCL_USER_BIT = UserBit(
@@ -81,7 +82,7 @@ class _Reservation:
 
 
 @dataclass
-class ExclusiveMonitor:
+class ExclusiveMonitor(Snapshottable):
     """Per-target exclusive-access reservation table (NIU state).
 
     Semantics follow AXI: an exclusive load establishes a reservation for
@@ -98,6 +99,8 @@ class ExclusiveMonitor:
     grants: int = 0
     failures: int = 0
     evictions: int = 0
+
+    _snapshot_fields = ("_table", "grants", "failures", "evictions")
 
     def exclusive_load(
         self, initiator: int, address: int, span: int, cycle: int
@@ -158,7 +161,7 @@ class LockError(RuntimeError):
 
 
 @dataclass
-class LockManager:
+class LockManager(Snapshottable):
     """Target-side state for legacy LOCK/READEX blocking synchronization.
 
     While an initiator holds the lock, every other initiator's request at
@@ -172,6 +175,8 @@ class LockManager:
     acquisitions: int = 0
     blocked_cycles: int = 0
     _waiters: Set[int] = field(default_factory=set)
+
+    _snapshot_fields = ("holder", "acquisitions", "blocked_cycles", "_waiters")
 
     @property
     def locked(self) -> bool:

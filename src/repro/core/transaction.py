@@ -11,9 +11,10 @@ handled by field-assignment policies and optional user bits.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from repro.sim.snapshot import SerialCounter
 
 
 class Opcode(enum.Enum):
@@ -106,7 +107,10 @@ class ResponseStatus(enum.Enum):
         return self in (ResponseStatus.SLVERR, ResponseStatus.DECERR)
 
 
-_txn_ids = itertools.count()
+#: Global transaction-id stream.  A SerialCounter (not itertools.count)
+#: so checkpoints can capture and restore it — a restored run must hand
+#: out exactly the ids the uninterrupted run would have.
+_txn_ids = SerialCounter()
 
 
 def _next_txn_id() -> int:

@@ -16,15 +16,18 @@ from typing import Deque, Dict, List, Optional, Tuple
 from repro.core.transaction import ResponseStatus
 from repro.protocols.base import SlaveRequest, SlaveResponse, SlaveSocket
 from repro.sim.component import Component
+from repro.sim.snapshot import Snapshottable
 
 
-class ByteStore:
+class ByteStore(Snapshottable):
     """Byte-addressed sparse storage shared by memory models.
 
     Values are stored per byte so mixed beat widths (a 32-bit AHB master
     and a 64-bit AXI master sharing a target) read back exactly what was
     written.
     """
+
+    _snapshot_fields = ("_bytes",)
 
     def __init__(self) -> None:
         self._bytes: Dict[int, int] = {}
@@ -46,7 +49,7 @@ class ByteStore:
         return len(self._bytes)
 
 
-class MemoryDevice(Component):
+class MemoryDevice(Component, Snapshottable):
     """Simple-latency memory target.
 
     Parameters
@@ -86,6 +89,23 @@ class MemoryDevice(Component):
         # response frees the retire path while the pipeline drains.
         socket.requests.wake_on_push(self)
         socket.responses.wake_on_pop(self)
+
+    # -- state capture ----------------------------------------------------
+    _snapshot_fields = (
+        "_pipeline",
+        "reads_served",
+        "writes_served",
+        "errors_served",
+    )
+
+    def _snapshot_state(self) -> dict:
+        state = super()._snapshot_state()
+        state["store"] = self.store.snapshot()
+        return state
+
+    def _restore_state(self, state) -> None:
+        super()._restore_state(state)
+        self.store.restore(state["store"])
 
     def is_idle(self) -> bool:
         return not self._pipeline and not self.socket.requests

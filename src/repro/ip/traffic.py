@@ -44,10 +44,33 @@ from repro.core.transaction import (
     make_read,
     make_write,
 )
+from repro.sim.snapshot import Snapshottable
 
 
-class ScriptedTraffic:
+class TrafficSeedError(ValueError):
+    """A random traffic source was built without a reproducible seed.
+
+    ``random.Random(None)`` seeds from the OS entropy pool, which silently
+    breaks run-to-run reproducibility — and with it checkpoint/restore
+    equivalence and every determinism test.  Sources therefore demand an
+    explicit integer seed.
+    """
+
+
+def _require_seed(name: str, seed) -> int:
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise TrafficSeedError(
+            f"traffic source {name!r}: seed must be an explicit int for "
+            f"reproducibility, got {seed!r} (random.Random(None) would "
+            f"seed from OS entropy)"
+        )
+    return seed
+
+
+class ScriptedTraffic(Snapshottable):
     """Issue a fixed list of intents in order, as fast as accepted."""
+
+    _snapshot_fields = ("_next", "completions")
 
     def __init__(self, intents: Iterable[Transaction]) -> None:
         self._intents: List[Transaction] = list(intents)
@@ -75,7 +98,7 @@ class ScriptedTraffic:
         self.completions.append((txn_id, cycle, status))
 
 
-class PoissonTraffic:
+class PoissonTraffic(Snapshottable):
     """Open-loop random traffic with a Bernoulli-per-cycle injection rate.
 
     Parameters
@@ -92,6 +115,8 @@ class PoissonTraffic:
         Spread for ``txn.thread`` / ``txn.txn_tag`` (protocol-dependent
         meaning: OCP ThreadID, AXI/AVCI ID).
     """
+
+    _snapshot_fields = ("rng", "remaining", "completions", "_armed", "_predrawn")
 
     def __init__(
         self,
@@ -113,7 +138,7 @@ class PoissonTraffic:
         if not address_ranges:
             raise ValueError("need at least one address range")
         self.name = name
-        self.rng = random.Random(seed)
+        self.rng = random.Random(_require_seed(name, seed))
         self.remaining = count
         self.address_ranges = list(address_ranges)
         self.rate = rate
@@ -210,9 +235,11 @@ class PoissonTraffic:
         self.completions.append((txn_id, cycle, status))
 
 
-class DependentTraffic:
+class DependentTraffic(Snapshottable):
     """Closed-loop, CPU-like: the next intent issues ``think_cycles``
     after the previous one completes (dependent loads)."""
+
+    _snapshot_fields = ("rng", "remaining", "_ready_at", "_waiting", "completions")
 
     def __init__(
         self,
@@ -226,7 +253,7 @@ class DependentTraffic:
         priority: int = 0,
     ) -> None:
         self.name = name
-        self.rng = random.Random(seed)
+        self.rng = random.Random(_require_seed(name, seed))
         self.remaining = count
         self.address_ranges = list(address_ranges)
         self.think_cycles = think_cycles
@@ -269,8 +296,10 @@ class DependentTraffic:
         self.completions.append((txn_id, cycle, status))
 
 
-class StreamTraffic:
+class StreamTraffic(Snapshottable):
     """DMA-like: back-to-back long INCR bursts sweeping a region."""
+
+    _snapshot_fields = ("bursts_remaining", "_cursor", "_ready_at", "completions")
 
     def __init__(
         self,
@@ -337,7 +366,7 @@ class StreamTraffic:
         self.completions.append((txn_id, cycle, status))
 
 
-class SyncWorkload:
+class SyncWorkload(Snapshottable):
     """Critical-section loop in either synchronization style (E3).
 
     ``style="lock"`` (legacy blocking, AHB/VCI): READEX the semaphore
@@ -349,6 +378,17 @@ class SyncWorkload:
     section work runs only after a successful exclusive store, and the
     semaphore is freed with a plain store.
     """
+
+    _snapshot_fields = (
+        "rng",
+        "iterations_left",
+        "_state",
+        "_work_left",
+        "_inflight_id",
+        "retries",
+        "sections_completed",
+        "completions",
+    )
 
     def __init__(
         self,
@@ -368,7 +408,7 @@ class SyncWorkload:
         self.work_addr = work_addr
         self.iterations_left = iterations
         self.work_ops = work_ops
-        self.rng = random.Random(seed)
+        self.rng = random.Random(_require_seed(name, seed))
         self._state = "idle"
         self._work_left = 0
         self._inflight_id: Optional[int] = None

@@ -31,10 +31,11 @@ from repro.niu.tag_policy import TagPolicy
 from repro.protocols.base import SlaveRequest, SlaveResponse, SlaveSocket
 from repro.sim.component import Component
 from repro.sim.queue import SimQueue
+from repro.sim.snapshot import Snapshottable
 from repro.transport.network import Fabric
 
 
-class InitiatorNiu(Component):
+class InitiatorNiu(Component, Snapshottable):
     """Generic initiator-NIU engine.
 
     Subclass contract (record conversion only):
@@ -84,6 +85,29 @@ class InitiatorNiu(Component):
         # (the cache holds a strong reference, so `is` stays sound).
         self._peek_key = None
         self._peek_txn: Optional[Transaction] = None
+
+    # -- state capture ----------------------------------------------------
+    # The peek-cache pair rides along so a restored NIU re-decodes (or
+    # not) exactly as the original would; the checkpoint deepcopy keeps
+    # `_peek_key is <head record>` aliasing intact.
+    _snapshot_fields = (
+        "requests_sent",
+        "responses_delivered",
+        "posted_sent",
+        "decode_errors",
+        "stall_cycles",
+        "_peek_key",
+        "_peek_txn",
+    )
+
+    def _snapshot_state(self) -> dict:
+        state = super()._snapshot_state()
+        state["table"] = self.table.snapshot()
+        return state
+
+    def _restore_state(self, state) -> None:
+        super()._restore_state(state)
+        self.table.restore(state["table"])
 
     def _attach_socket(self, socket) -> None:
         """Store the master socket and register activity wakes.
@@ -277,7 +301,7 @@ class InitiatorNiu(Component):
         self.requests_sent += 1
 
 
-class TargetNiu(Component):
+class TargetNiu(Component, Snapshottable):
     """Generic target NIU: packets in, neutral slave operations out.
 
     Owns the per-target NoC-service state: the exclusive-access monitor
@@ -330,6 +354,35 @@ class TargetNiu(Component):
         self._req_packets.wake_on_push(self)
         slave_socket.responses.wake_on_push(self)
         slave_socket.requests.wake_on_pop(self)
+
+    # -- state capture ----------------------------------------------------
+    _snapshot_fields = (
+        "_pending",
+        "_release_on_complete",
+        "_parked",
+        "_next_token",
+        "_order",
+        "_ready",
+        "requests_served",
+        "posted_served",
+        "excl_failures",
+        "lock_blocked_cycles",
+    )
+
+    def _snapshot_state(self) -> dict:
+        state = super()._snapshot_state()
+        if self.monitor is not None:
+            state["monitor"] = self.monitor.snapshot()
+        if self.locks is not None:
+            state["locks"] = self.locks.snapshot()
+        return state
+
+    def _restore_state(self, state) -> None:
+        super()._restore_state(state)
+        if self.monitor is not None:
+            self.monitor.restore(state["monitor"])
+        if self.locks is not None:
+            self.locks.restore(state["locks"])
 
     # ------------------------------------------------------------------ #
     def is_idle(self) -> bool:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.transaction import ResponseStatus, Transaction
+from repro.sim.snapshot import Snapshottable
 
 StreamKey = Tuple[int, ...]
 
@@ -46,8 +47,21 @@ class StateTableFullError(RuntimeError):
     """Allocation attempted on a full table (caller must check first)."""
 
 
-class StateTable:
+class StateTable(Snapshottable):
     """Bounded outstanding-transaction table with stream-order queries."""
+
+    # Entries hold live Transaction/StateEntry objects; the checkpoint
+    # layer's shared-memo deepcopy preserves aliasing with the NIU's
+    # peeked-entry references.
+    _snapshot_fields = (
+        "_entries",
+        "_seq",
+        "_stream_seq",
+        "total_allocated",
+        "high_watermark",
+        "_responded_count",
+        "_stream_counts",
+    )
 
     def __init__(self, name: str, capacity: int) -> None:
         if capacity < 1:

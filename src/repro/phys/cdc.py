@@ -31,10 +31,20 @@ from typing import Any, Deque, List, Tuple
 from repro.phys.clocking import ClockDomain
 from repro.sim.component import Component
 from repro.sim.queue import WakeHooks
+from repro.sim.snapshot import Snapshottable
 
 
-class CdcFifo(Component, WakeHooks):
+class CdcFifo(Component, WakeHooks, Snapshottable):
     """Bounded FIFO between two clock domains with synchronizer latency."""
+
+    _snapshot_fields = (
+        "_crossing",
+        "_staged",
+        "_visible",
+        "total_pushed",
+        "total_popped",
+        "_dirty",
+    )
 
     def __init__(
         self,

@@ -26,6 +26,7 @@ from typing import Deque, List, Optional, Tuple
 
 from repro.sim.component import Component
 from repro.sim.queue import SimQueue
+from repro.sim.snapshot import Snapshottable
 from repro.transport.flit import Flit
 from repro.transport.flow_control import CreditCounter
 
@@ -142,7 +143,7 @@ def domains_cross(producer_domain, consumer_domain) -> bool:
     return _domain_name(producer_domain) != _domain_name(consumer_domain)
 
 
-class PhysicalLink(Component):
+class PhysicalLink(Component, Snapshottable):
     """Serializing, pipelined point-to-point link between two flit queues.
 
     Parameters
@@ -376,8 +377,22 @@ class PhysicalLink(Component):
         a CDC adds ``sync_stages`` consumer edges on top)."""
         return self.serialization + self.pipeline_latency
 
+    # ------------------------------------------------------------------ #
+    # state capture
+    # ------------------------------------------------------------------ #
+    _snapshot_fields = (
+        "_shifting",
+        "_pipe",
+        "_crossing",
+        "_deliver",
+        "_shift_edge",
+        "_cross_edge",
+        "flits_carried",
+        "phits_carried",
+    )
 
-class VcPhysicalLink(Component):
+
+class VcPhysicalLink(Component, Snapshottable):
     """One physical channel time-multiplexing several virtual channels.
 
     The hardware reality virtual channels model: per-VC buffers at both
@@ -595,3 +610,27 @@ class VcPhysicalLink(Component):
         """Cycles from first phit to delivery for one flit (same-domain;
         a CDC adds ``sync_stages`` consumer edges on top)."""
         return self.serialization + self.pipeline_latency
+
+    # ------------------------------------------------------------------ #
+    # state capture
+    # ------------------------------------------------------------------ #
+    _snapshot_fields = (
+        "_shifting",
+        "_pipe",
+        "_crossing",
+        "_in_flight_vc",
+        "_next_vc",
+        "flits_carried",
+        "phits_carried",
+        "flits_per_vc",
+    )
+
+    def _snapshot_state(self) -> dict:
+        state = super()._snapshot_state()
+        state["credits"] = [c.snapshot() for c in self.credits]
+        return state
+
+    def _restore_state(self, state) -> None:
+        super()._restore_state(state)
+        for credit, envelope in zip(self.credits, state["credits"]):
+            credit.restore(envelope)

@@ -114,6 +114,11 @@ class AxiMaster(ProtocolMaster):
     protocol_name = "AXI"
     ordering_model = OrderingModel.ID_BASED
 
+    _snapshot_fields = ProtocolMaster._snapshot_fields + (
+        "_reads_inflight",
+        "_writes_inflight",
+    )
+
     def __init__(
         self,
         name: str,

@@ -85,6 +85,12 @@ class OcpMaster(ProtocolMaster):
     protocol_name = "OCP"
     ordering_model = OrderingModel.THREADED
 
+    _snapshot_fields = ProtocolMaster._snapshot_fields + (
+        "_thread_inflight",
+        "_posted_complete",
+        "posted_count",
+    )
+
     def __init__(
         self,
         name: str,

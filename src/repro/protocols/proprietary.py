@@ -64,6 +64,11 @@ class MsgMaster(ProtocolMaster):
     protocol_name = "PROPRIETARY"
     ordering_model = OrderingModel.FULLY_ORDERED
 
+    _snapshot_fields = ProtocolMaster._snapshot_fields + (
+        "_posted_complete",
+        "fences_issued",
+    )
+
     def __init__(
         self,
         name: str,

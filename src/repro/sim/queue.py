@@ -41,6 +41,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Iterator, List, Optional, Tuple
 
+from repro.sim.snapshot import Snapshottable
+
 
 class WakeHooks:
     """Waiter registration shared by every wake-capable channel.
@@ -72,7 +74,7 @@ class WakeHooks:
             self._pop_waiters += (component,)
 
 
-class SimQueue(WakeHooks):
+class SimQueue(WakeHooks, Snapshottable):
     """Bounded FIFO with next-cycle push visibility.
 
     Parameters
@@ -195,6 +197,27 @@ class SimQueue(WakeHooks):
                 self.high_watermark = len(self._committed)
             for waiter in self._push_waiters:
                 waiter.wake()
+
+    # ------------------------------------------------------------------ #
+    # state capture
+    # ------------------------------------------------------------------ #
+    _snapshot_fields = (
+        "_committed",
+        "_staged",
+        "total_pushed",
+        "total_popped",
+        "high_watermark",
+        "_dirty",
+    )
+
+    def _restore_state(self, state) -> None:
+        # _committed is restored in place by the base hook (never rebound
+        # — the dense router core caches the deque).  Derived occupancy
+        # is recomputed; dirty-list membership is the kernel's to rebuild
+        # (Simulator._restore_state), since an unregistered queue has no
+        # dirty list to join.
+        super()._restore_state(state)
+        self._occ = len(self._committed) + len(self._staged)
 
     @property
     def staged_count(self) -> int:

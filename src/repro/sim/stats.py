@@ -10,9 +10,13 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
+from repro.sim.snapshot import Snapshottable
 
-class Counter:
+
+class Counter(Snapshottable):
     """A monotonically increasing event counter."""
+
+    _snapshot_fields = ("value",)
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -31,8 +35,10 @@ class Counter:
         return f"<Counter {self.name!r}={self.value}>"
 
 
-class Histogram:
+class Histogram(Snapshottable):
     """Simple value histogram with summary statistics."""
+
+    _snapshot_fields = ("_samples",)
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -91,13 +97,24 @@ class Histogram:
         return f"<Histogram {self.name!r} n={self.count} mean={self.mean():.2f}>"
 
 
-class LatencyStat:
+class LatencyStat(Snapshottable):
     """Tracks request→response latencies keyed by an arbitrary token."""
+
+    _snapshot_fields = ("_open",)
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._open: Dict[object, int] = {}
         self.histogram = Histogram(name)
+
+    def _snapshot_state(self) -> Dict[str, object]:
+        state = super()._snapshot_state()
+        state["histogram"] = self.histogram.snapshot()
+        return state
+
+    def _restore_state(self, state) -> None:
+        super()._restore_state(state)
+        self.histogram.restore(state["histogram"])
 
     def start(self, token: object, cycle: int) -> None:
         if token in self._open:
@@ -132,6 +149,33 @@ class StatsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._latencies: Dict[str, LatencyStat] = {}
+
+    # ------------------------------------------------------------------ #
+    # state capture
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """Capture every registered stat, keyed by kind and name."""
+        return {
+            "counters": {n: c.snapshot() for n, c in self._counters.items()},
+            "histograms": {n: h.snapshot() for n, h in self._histograms.items()},
+            "latencies": {n: s.snapshot() for n, s in self._latencies.items()},
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore via get-or-create, never discarding live objects.
+
+        Components cache references to their stats (e.g. a protocol
+        master resolves its latency stat once in ``bind``), so restore
+        must mutate the registered objects in place.  A snapshot may
+        name stats this build has not touched yet — get-or-create
+        registers them, exactly as first use would have.
+        """
+        for name, envelope in state["counters"].items():
+            self.counter(name).restore(envelope)
+        for name, envelope in state["histograms"].items():
+            self.histogram(name).restore(envelope)
+        for name, envelope in state["latencies"].items():
+            self.latency(name).restore(envelope)
 
     def counter(self, name: str) -> Counter:
         if name not in self._counters:

@@ -15,6 +15,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.sim.snapshot import Snapshottable
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -30,7 +32,7 @@ class TraceEvent:
         return f"[{self.cycle:>8}] {self.source:<24} {self.kind:<20} {extras}"
 
 
-class Tracer:
+class Tracer(Snapshottable):
     """Collects :class:`TraceEvent` objects, optionally filtered by kind.
 
     Parameters
@@ -120,6 +122,18 @@ class Tracer:
     def clear(self) -> None:
         self.events.clear()
         self.total_logged = 0
+
+    # ------------------------------------------------------------------ #
+    # state capture
+    # ------------------------------------------------------------------ #
+    _snapshot_fields = ("events", "total_logged", "_enabled")
+
+    def _restore_state(self, state) -> None:
+        # ``events`` is restored in place (list or ring-buffer deque,
+        # whichever this build configured); ``log`` is an instance
+        # attribute derived from ``_enabled``, so re-derive it.
+        super()._restore_state(state)
+        self._rebind()
 
     def dump(self) -> str:
         return "\n".join(str(e) for e in self.events)

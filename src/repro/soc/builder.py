@@ -109,6 +109,55 @@ class NocSoc:
         return self.sim.run(cycles)
 
     # ------------------------------------------------------------------ #
+    # state capture
+    # ------------------------------------------------------------------ #
+    snapshot_version = 1
+
+    def snapshot(self) -> dict:
+        """Capture the full runtime state of the SoC as one state tree.
+
+        The tree holds *live references* into the running system; hand it
+        to :class:`repro.sweep.checkpoint.Checkpoint` (one shared-memo
+        deepcopy) before stepping the simulator again.  Structure/wiring
+        is not captured — restore targets a congruently rebuilt SoC.
+        """
+        from repro.core.transaction import _txn_ids
+        from repro.transport.flit import _flit_packet_ids
+
+        return {
+            "__v__": type(self).snapshot_version,
+            "cycle": self.sim.cycle,
+            "id_counters": {
+                "txn": _txn_ids.snapshot(),
+                "flit": _flit_packet_ids.snapshot(),
+            },
+            "sim": self.sim.snapshot(),
+            "planes": {
+                plane.name: plane.snapshot() for plane in self.fabric._planes
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a state tree captured by :meth:`snapshot` into this
+        (congruently built, typically fresh) SoC.  The caller owns
+        defensive copying; the tree's objects are adopted directly."""
+        from repro.core.transaction import _txn_ids
+        from repro.sim.snapshot import SnapshotVersionError
+        from repro.transport.flit import _flit_packet_ids
+
+        version = state.get("__v__")
+        if version != type(self).snapshot_version:
+            raise SnapshotVersionError(
+                f"NocSoc snapshot version {version!r} != "
+                f"{type(self).snapshot_version}"
+            )
+        _txn_ids.restore(state["id_counters"]["txn"])
+        _flit_packet_ids.restore(state["id_counters"]["flit"])
+        self.sim.restore(state["sim"])
+        for plane in self.fabric._planes:
+            plane.restore(state["planes"][plane.name])
+
+    # ------------------------------------------------------------------ #
     # metrics
     # ------------------------------------------------------------------ #
     def master_latency(self, name: str) -> Dict[str, float]:

@@ -1,0 +1,98 @@
+"""Freeze/thaw a running SoC as a self-contained checkpoint.
+
+``NocSoc.snapshot()`` returns a *live-reference* state tree — fast to
+build, but aliased into the running system.  :meth:`Checkpoint.capture`
+detaches it with one shared-memo :func:`copy.deepcopy`, so every
+cross-object alias inside the tree (a router's cached flit that is also
+a queue's front flit, a state-table entry aliased by a peek cache) stays
+one object on the other side.  :meth:`Checkpoint.restore_into` deepcopies
+*again* on the way out, so a single checkpoint can seed any number of
+what-if runs without them contaminating each other.
+
+Serialization is :mod:`pickle` (the tree holds model dataclasses —
+flits, packets, transactions — not just JSON scalars) wrapped in a
+versioned envelope; :class:`CheckpointFormatError` names format
+mismatches instead of letting unpickling fail obscurely.
+"""
+
+from __future__ import annotations
+
+import copy
+import io
+import pickle
+from typing import BinaryIO, Union
+
+#: Bump when the on-disk envelope (not the state tree) changes shape.
+FORMAT_VERSION = 1
+
+_MAGIC = b"repro-ckpt"
+
+
+class CheckpointFormatError(RuntimeError):
+    """Bytes that are not a checkpoint, or one from another format era."""
+
+
+class Checkpoint:
+    """A detached, reusable snapshot of a :class:`NocSoc` at one cycle."""
+
+    def __init__(self, state: dict) -> None:
+        self._state = state
+
+    # ------------------------------------------------------------------ #
+    # capture / restore
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def capture(cls, soc) -> "Checkpoint":
+        """Snapshot ``soc`` right now (one shared-memo deepcopy)."""
+        return cls(copy.deepcopy(soc.snapshot()))
+
+    def restore_into(self, soc) -> None:
+        """Load this checkpoint into a congruently built SoC.
+
+        The state handed over is a fresh deepcopy, so the checkpoint
+        stays pristine and may be restored again (the fork sweep relies
+        on this).
+        """
+        soc.restore(copy.deepcopy(self._state))
+
+    @property
+    def cycle(self) -> int:
+        """The simulator cycle at which the checkpoint was taken."""
+        return self._state["cycle"]
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        buffer = io.BytesIO()
+        buffer.write(_MAGIC)
+        buffer.write(bytes([FORMAT_VERSION]))
+        pickle.dump(self._state, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Checkpoint":
+        if data[: len(_MAGIC)] != _MAGIC:
+            raise CheckpointFormatError(
+                "not a checkpoint (bad magic prefix)"
+            )
+        version = data[len(_MAGIC)]
+        if version != FORMAT_VERSION:
+            raise CheckpointFormatError(
+                f"checkpoint format version {version} != {FORMAT_VERSION}"
+            )
+        return cls(pickle.loads(data[len(_MAGIC) + 1 :]))
+
+    def save(self, target: Union[str, BinaryIO]) -> None:
+        if hasattr(target, "write"):
+            target.write(self.to_bytes())
+        else:
+            with open(target, "wb") as handle:
+                handle.write(self.to_bytes())
+
+    @classmethod
+    def load(cls, source: Union[str, BinaryIO]) -> "Checkpoint":
+        if hasattr(source, "read"):
+            return cls.from_bytes(source.read())
+        with open(source, "rb") as handle:
+            return cls.from_bytes(handle.read())

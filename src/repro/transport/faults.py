@@ -62,6 +62,7 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tup
 
 from repro.sim.component import Component
 from repro.sim.kernel import SimulationError
+from repro.sim.snapshot import Snapshottable
 from repro.transport.routing import AdaptiveRoutingTable, port_local, port_to
 from repro.transport.topology import Topology, router_sort_key
 
@@ -461,7 +462,7 @@ def unreachable_endpoint_pairs(
 # ---------------------------------------------------------------------- #
 # runtime: one injector per plane
 # ---------------------------------------------------------------------- #
-class FaultInjector(Component):
+class FaultInjector(Component, Snapshottable):
     """Applies a plane's fault schedule and watches for partitions.
 
     Registered by :class:`~repro.transport.network.Network` *before* the
@@ -495,6 +496,58 @@ class FaultInjector(Component):
         #: injection-side wake hooks (below) re-arm the deadline then.
         self._parked = False
         self._injection_wakes_registered = False
+
+    # -- state capture ----------------------------------------------------
+    _snapshot_fields = (
+        "_idx",
+        "down_links",
+        "down_ports",
+        "fault_epoch",
+        "applied",
+        "_deadline",
+        "_unroutable",
+        "_parked",
+    )
+
+    def _snapshot_state(self) -> dict:
+        state = super()._snapshot_state()
+        state["injection_wakes"] = self._injection_wakes_registered
+        return state
+
+    def _restore_state(self, state) -> None:
+        super()._restore_state(state)
+        # The wake hooks are *registrations*, not a flag: a fresh build
+        # has none, so replay the arming instead of restoring the bool.
+        if state["injection_wakes"] and not self._injection_wakes_registered:
+            self._ensure_injection_wakes()
+
+    # -- runtime schedule extension (design-space sweeps) ------------------
+    def extend_schedule(self, events: Sequence[FaultEvent]) -> None:
+        """Merge new fault events into the not-yet-applied suffix.
+
+        This is how a forked what-if run imposes an alternative fault
+        future on a restored checkpoint: events already applied are
+        history and stay untouched; the new events sort into the pending
+        tail by cycle.  Events dated before the current cycle are
+        rejected (:class:`FaultConfigError`) — they could never have
+        been applied on a cold run either.
+        """
+        if not events:
+            return
+        now = self._simulator.cycle if self._simulator is not None else 0
+        for ev in events:
+            if ev.cycle < now:
+                raise FaultConfigError(
+                    f"{self.name}: cannot extend the schedule with an "
+                    f"event at past cycle {ev.cycle} (now {now})"
+                )
+        self.schedule = self.schedule.extended(events)
+        self.schedule.validate(self.network.topology)
+        suffix = self._events[self._idx :] + list(events)
+        suffix.sort(key=lambda ev: ev.cycle)
+        self._events = self._events[: self._idx] + suffix
+        self._parked = False
+        self.wake()
 
     # -- activity contract ------------------------------------------------
     def is_idle(self) -> bool:

@@ -9,14 +9,16 @@ inspected — the transaction payload rides opaquely.
 
 from __future__ import annotations
 
-import itertools
 import math
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.packet import NocPacket, PacketFormat
+from repro.sim.snapshot import SerialCounter, Snapshottable
 
-_flit_packet_ids = itertools.count()
+#: Global packet-id stream for flit tagging.  A SerialCounter (not
+#: itertools.count) so checkpoints can capture and restore it.
+_flit_packet_ids = SerialCounter()
 
 
 @dataclass(slots=True)
@@ -150,7 +152,7 @@ class ReassemblyError(RuntimeError):
     """Flit stream violated head/body/tail framing."""
 
 
-class Reassembler:
+class Reassembler(Snapshottable):
     """Rebuilds packets from an in-order flit stream (one link's worth).
 
     Links never interleave flits of different packets (wormhole keeps a
@@ -158,6 +160,8 @@ class Reassembler:
     check; interleaving is a fabric bug that this class turns into a loud
     :class:`ReassemblyError`.
     """
+
+    _snapshot_fields = ("_current", "_received", "packets_out")
 
     def __init__(self, name: str = "reassembler") -> None:
         self.name = name

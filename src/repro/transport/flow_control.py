@@ -22,8 +22,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Tuple
 
+from repro.sim.snapshot import Snapshottable
 
-class CreditCounter:
+
+class CreditCounter(Snapshottable):
     """Sender-side credit state for one link.
 
     The sender calls :meth:`consume` per flit sent; the receiver calls
@@ -31,6 +33,14 @@ class CreditCounter:
     ``return_latency`` cycles later, via :meth:`advance` called once per
     cycle.
     """
+
+    _snapshot_fields = (
+        "_available",
+        "_in_flight",
+        "_now",
+        "total_consumed",
+        "total_returned",
+    )
 
     # Slotted: one counter per link VC, consulted every phit cycle of
     # every serialized link — attribute access is the hot operation.

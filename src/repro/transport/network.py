@@ -38,6 +38,7 @@ from repro.phys.link import LinkSpec, PhysicalLink, VcPhysicalLink, domains_cros
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator
 from repro.sim.queue import SimQueue
+from repro.sim.snapshot import Snapshottable
 from repro.transport.faults import (
     FaultConfigError,
     FaultInjector,
@@ -104,7 +105,7 @@ class KindVcPolicy(VcPolicy):
         )
 
 
-class InjectionPort(Component):
+class InjectionPort(Component, Snapshottable):
     """Segments packets from a NIU into flits feeding the local router.
 
     With several VCs the port keeps one pending flit stream per VC (the
@@ -141,6 +142,13 @@ class InjectionPort(Component):
         packet_queue.wake_on_push(self)
         for queue in self.flit_queues:
             queue.wake_on_pop(self)
+
+    _snapshot_fields = (
+        "_pending",
+        "_last_vc",
+        "packets_injected",
+        "flits_injected",
+    )
 
     @property
     def flit_queue(self) -> SimQueue:
@@ -210,7 +218,7 @@ class InjectionPort(Component):
                 break
 
 
-class EjectionPort(Component):
+class EjectionPort(Component, Snapshottable):
     """Reassembles flits arriving at an endpoint back into packets.
 
     One reassembler per VC (each VC carries whole packets, never
@@ -281,6 +289,31 @@ class EjectionPort(Component):
             queue.wake_on_push(self)
         for queue in self._packet_queues.values():
             queue.wake_on_pop(self)
+
+    _snapshot_fields = (
+        "_last_vc",
+        "packets_ejected",
+        "_rob",
+        "_expected",
+        "_rob_count",
+        "reorder_high_watermark",
+        "packets_resequenced",
+    )
+
+    def _snapshot_state(self) -> dict:
+        state = super()._snapshot_state()
+        # _rob is a dict of dicts; shallow-capture the inner maps too so
+        # the checkpoint's shape is fixed at capture time.
+        state["_rob"] = {src: dict(m) for src, m in self._rob.items()}
+        state["reassemblers"] = [a.snapshot() for a in self.reassemblers]
+        return state
+
+    def _restore_state(self, state) -> None:
+        super()._restore_state(state)
+        for reassembler, envelope in zip(
+            self.reassemblers, state["reassemblers"]
+        ):
+            reassembler.restore(envelope)
 
     @property
     def reassembler(self) -> Reassembler:
@@ -453,8 +486,15 @@ class EjectionPort(Component):
                 del self._rob[src]
 
 
-class Network:
-    """One routing plane: routers, links, injection/ejection ports."""
+class Network(Snapshottable):
+    """One routing plane: routers, links, injection/ejection ports.
+
+    The plane's only runtime state of its own is the per-(src, dst)
+    injection sequence stream of adaptive planes; everything else lives
+    on the registered components, which the kernel captures by name.
+    """
+
+    _snapshot_fields = ("_pair_seq",)
 
     def __init__(
         self,

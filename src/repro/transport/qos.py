@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
+from repro.sim.snapshot import Snapshottable
+
 
 @dataclass(frozen=True, slots=True)
 class Candidate:
@@ -27,10 +29,12 @@ class Candidate:
         return self.priority + self.urgency
 
 
-class Arbiter:
+class Arbiter(Snapshottable):
     """Base arbitration policy; subclasses implement :meth:`pick`."""
 
     name = "base"
+
+    _snapshot_fields = ("_grant_seq", "_grants")
 
     #: True when granting a *lone* candidate is state-equivalent to
     #: :meth:`note_sole_grant` — it holds for every built-in policy

@@ -47,6 +47,7 @@ from repro.core.packet import PacketKind
 from repro.core.transaction import Opcode
 from repro.sim.component import Component
 from repro.sim.queue import SimQueue
+from repro.sim.snapshot import Snapshottable
 from repro.transport.flit import Flit
 from repro.transport.qos import Arbiter, Candidate, PriorityArbiter
 from repro.transport.routing import AdaptiveRoutingTable, EscapeVcPolicy, VcPolicy
@@ -60,7 +61,7 @@ _LOCK_CLEARERS = (Opcode.UNLOCK, Opcode.STORE_COND_LOCKED)
 VcKey = Tuple[str, int]
 
 
-class Router(Component):
+class Router(Component, Snapshottable):
     """One switch.  Wiring is done by :class:`~repro.transport.network.Network`."""
 
     def __init__(
@@ -846,6 +847,55 @@ class Router(Component):
                 self._simulator.trace.log(
                     cycle, self.name, "lock_clear", port=out_port, master=head.src
                 )
+
+    # ------------------------------------------------------------------ #
+    # state capture
+    # ------------------------------------------------------------------ #
+    # Everything the tick and fault paths mutate.  Not captured:
+    # wiring (inputs/outputs, sorted lists, candidate-key maps, neighbour
+    # geometry), _escape_vc_cache (pure geometry), _healthy_adaptive
+    # (pristine build table).  adaptive_table IS captured — fault epochs
+    # swap it for a degraded copy; the dense core re-validates by
+    # identity, so installing the restored object just works.
+    _snapshot_fields = (
+        "_input_alloc",
+        "_input_head",
+        "_input_age",
+        "_output_owner",
+        "_output_lock",
+        "_alloc_fail",
+        "_release_version",
+        "_dead_ports",
+        "_fault_degraded",
+        "adaptive_table",
+        "flits_forwarded",
+        "packets_forwarded",
+        "packets_adaptive",
+        "packets_escape",
+        "lock_stall_cycles",
+        "lock_stalls_by_output",
+        "output_busy_cycles",
+        "faults_hit",
+        "packets_rerouted",
+        "fault_stall_cycles",
+    )
+
+    def _snapshot_state(self) -> dict:
+        core = self._array_core
+        if core is not None:
+            # Ages and the adaptive fail cache live dense-only between
+            # syncs; make the dicts authoritative before capture.
+            core.sync_to_router()
+        state = super()._snapshot_state()
+        state["arbiter"] = self.arbiter.snapshot()
+        return state
+
+    def _restore_state(self, state) -> None:
+        super()._restore_state(state)
+        self.arbiter.restore(state["arbiter"])
+        core = self._array_core
+        if core is not None:
+            core.resync_from_router()
 
     # ------------------------------------------------------------------ #
     # introspection (tests / benches)

@@ -110,6 +110,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.packet import PacketKind
 from repro.sim.component import Component
+from repro.sim.snapshot import Snapshottable
 from repro.transport.flit import Flit
 from repro.transport.qos import Candidate
 from repro.transport.router import _LOCK_CLEARERS, _LOCK_SETTERS, Router
@@ -310,6 +311,41 @@ class ArrayCore:
             input_age[key] = self.age[i]
             flit = self.fail_flit[i]
             alloc_fail[key] = None if flit is None else (self.fail_ver[i], flit)
+
+    def resync_from_router(self) -> None:
+        """Re-pack the dense state from the router dicts (the inverse of
+        :meth:`sync_to_router`, used after a checkpoint restore).
+
+        Mirrors the pack loop in ``__init__``: alloc/head/age/fail and
+        owner are rebuilt from the (just-restored) object-router dicts,
+        and every identity-validated cache is dropped — the restore
+        swapped the very objects (fault frozensets, adaptive tables)
+        those caches were validated against.  Value-keyed caches
+        (dense routes, escape-VC geometry) survive: they are pure
+        functions of the build.
+        """
+        r = self.router
+        dense_out = {key: d for d, key in enumerate(self.out_keys)}
+        dense_in = {key: i for i, key in enumerate(self.in_keys)}
+        for i, key in enumerate(self.in_keys):
+            held = r._input_alloc[key]
+            self.alloc[i] = -1 if held is None else dense_out[held]
+            self.head[i] = r._input_head[key]
+            self.age[i] = r._input_age[key]
+            cached = r._alloc_fail[key]
+            if cached is None:
+                self.fail_ver[i] = 0
+                self.fail_flit[i] = None
+            else:
+                self.fail_ver[i] = cached[0]
+                self.fail_flit[i] = cached[1]
+        for d, key in enumerate(self.out_keys):
+            holder = r._output_owner[key]
+            self.owner[d] = -1 if holder is None else dense_in[holder]
+        self._dead_seen = None
+        if self._adaptive:
+            self._adaptive_table = None
+            self._adaptive_cache = {}
 
     # ------------------------------------------------------------------ #
     # the cycle
@@ -936,7 +972,7 @@ class ArrayCore:
         }
 
 
-class BatchedPlaneStepper(Component):
+class BatchedPlaneStepper(Component, Snapshottable):
     """Steps every busy router of one plane per cycle (``batched``).
 
     Registered immediately *before* the plane's routers, so its tick
@@ -959,6 +995,12 @@ class BatchedPlaneStepper(Component):
     """
 
     _next_event_known = True
+
+    # The pending set is only ever *iterated* to set active flags (an
+    # idempotent, order-independent merge), so capturing it as a plain
+    # set cannot perturb the stepping order — that is always the dense
+    # index sweep over the active mask.
+    _snapshot_fields = ("_active", "_n_active", "_pending")
 
     def __init__(self, name: str) -> None:
         super().__init__(name)

@@ -7,8 +7,6 @@ trace sequence as ``Simulator(strict=True)``, which ticks every component
 and commits every queue each cycle.  These tests pin that contract.
 """
 
-import itertools
-
 import pytest
 
 import repro.core.transaction as txn_mod
@@ -19,6 +17,7 @@ from repro.ip.masters import (
     random_workload,
     sync_workload,
 )
+from repro.sim.fingerprint import fingerprint, reset_ids
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Tracer
 from repro.soc import (
@@ -40,9 +39,7 @@ def _fresh_global_ids():
     txn_mod._txn_ids, flit_mod._flit_packet_ids = txn_ids, packet_ids
 
 
-def _reset_ids():
-    txn_mod._txn_ids = itertools.count()
-    flit_mod._flit_packet_ids = itertools.count()
+_reset_ids = reset_ids
 
 
 def build_mixed_soc(strict):
@@ -332,63 +329,6 @@ def _build_gals_like(strict, **extra):
                    region="cpu")
     )
     return builder.build()
-
-
-def fingerprint(soc, cycles):
-    soc.run(cycles)
-    sim = soc.sim
-    queues = {
-        name: (q.total_pushed, q.total_popped, q.high_watermark)
-        for name, q in sim._queue_names.items()
-    }
-    masters = {
-        name: (m.issued, m.completed, m.errors, m.excl_failures)
-        for name, m in soc.masters.items()
-    }
-    routers = {}
-    eports = {}
-    for plane in (soc.fabric.request_plane, soc.fabric.response_plane):
-        for router in plane.routers.values():
-            routers[router.name] = (
-                router.flits_forwarded,
-                router.packets_forwarded,
-                router.lock_stall_cycles,
-                router.packets_adaptive,
-                router.packets_escape,
-                router.faults_hit,
-                router.packets_rerouted,
-                router.fault_stall_cycles,
-                dict(router.output_busy_cycles),
-            )
-        for eport in plane.ejection_ports.values():
-            eports[eport.name] = (
-                eport.packets_ejected,
-                eport.packets_resequenced,
-                eport.reorder_high_watermark,
-            )
-    nius = {
-        name: (niu.requests_sent, niu.responses_delivered, niu.stall_cycles)
-        for name, niu in soc.initiator_nius.items()
-    }
-    tnius = {
-        name: (t.requests_served, t.excl_failures, t.lock_blocked_cycles)
-        for name, t in soc.target_nius.items()
-    }
-    latencies = {name: soc.master_latency(name) for name in soc.masters}
-    return {
-        "queues": queues,
-        "masters": masters,
-        "routers": routers,
-        "ejection_ports": eports,
-        "initiator_nius": nius,
-        "target_nius": tnius,
-        "latencies": latencies,
-        "stats": sim.stats.histograms(),
-        "trace": soc.sim.trace.dump(),
-        "memory": soc.memory_image(),
-        "completed": soc.total_completed(),
-        "cycle": sim.cycle,
-    }
 
 
 @pytest.mark.parametrize(

@@ -1,0 +1,286 @@
+"""Checkpoint/restore and fork-sweep contracts.
+
+The uniform state-capture protocol is only worth having if a restored
+run is *byte-identical* to an uninterrupted one — same trace stream,
+same queue counters, same histograms, same memory images — at every
+layer and from every adversarial snapshot point: mid-wormhole, inside a
+degraded fault epoch with the watchdog armed, mid-CDC-crossing, and on
+a fully parked timing wheel.  These tests pin that, across all three
+router cores and both kernels, and pin the fork sweep's warm == cold
+equivalence on top.
+"""
+
+import functools
+
+import pytest
+
+import test_kernel_determinism as tkd
+from repro.ip.traffic import PoissonTraffic, TrafficSeedError
+from repro.sim.fingerprint import fingerprint_soc
+from repro.sim.snapshot import (
+    SerialCounter,
+    SnapshotMismatchError,
+    SnapshotVersionError,
+)
+from repro.soc import FaultSchedule
+from repro.sweep import Checkpoint, CheckpointFormatError, Override, fork
+from repro.sweep.fork import run_cold
+
+CORES = ("object", "array", "batched")
+
+# Reuse the determinism suite's autouse id-counter isolation.
+_fresh_global_ids = tkd._fresh_global_ids
+
+
+def _roundtrip(build, total, at, strict=False):
+    """Uninterrupted run vs checkpoint-at-``at`` + restore + continue."""
+    soc = build(strict=strict)
+    soc.run(total)
+    reference = fingerprint_soc(soc)
+
+    donor = build(strict=strict)
+    donor.run(at)
+    checkpoint = Checkpoint.capture(donor)
+    assert checkpoint.cycle == at
+    donor.run(97)  # mutate the donor afterwards: the checkpoint is detached
+
+    resumed = build(strict=strict)
+    checkpoint.restore_into(resumed)
+    assert resumed.sim.cycle == at
+    resumed.run(total - at)
+    restored = fingerprint_soc(resumed)
+    for key in reference:
+        assert restored[key] == reference[key], f"{key} diverged"
+    return checkpoint
+
+
+@pytest.mark.parametrize("core", CORES)
+@pytest.mark.parametrize("strict", [False, True], ids=["activity", "strict"])
+def test_mid_wormhole_roundtrip(core, strict, monkeypatch):
+    """Cycle 850 of the lock workload: wormholes in flight, router LOCK
+    ownership held, arbiters mid-rotation."""
+    monkeypatch.setenv("REPRO_ROUTER_CORE", core)
+    _roundtrip(tkd.build_lock_soc, 3000, 850, strict)
+
+
+@pytest.mark.parametrize("core", CORES)
+@pytest.mark.parametrize("strict", [False, True], ids=["activity", "strict"])
+def test_mid_fault_epoch_roundtrip(core, strict, monkeypatch):
+    """Cycle 500 sits inside the [400, 900) degraded window: degraded
+    route tables pushed, dead ports masked, partition watchdog armed."""
+    monkeypatch.setenv("REPRO_ROUTER_CORE", core)
+    _roundtrip(tkd.build_faulted_adaptive_gals_soc, 5000, 500, strict)
+
+
+@pytest.mark.parametrize("core", CORES)
+def test_mid_cdc_crossing_roundtrip(core, monkeypatch):
+    """Cycle 777 of the GALS build: phits mid-shift on serialized links,
+    entries maturing inside CDC synchronizers, three clock domains."""
+    monkeypatch.setenv("REPRO_ROUTER_CORE", core)
+    _roundtrip(tkd.build_gals_soc, 5000, 777, False)
+
+
+def test_parked_wheel_roundtrip():
+    """Checkpoint a fully drained SoC (every component parked or retired,
+    wheel possibly holding stale entries): the restored system must stay
+    quiescent and byte-identical."""
+    soc = tkd.build_mixed_soc(strict=False)
+    soc.run_to_completion()
+    soc.run(16)
+    assert soc.sim.active_count == 0
+    checkpoint = Checkpoint.capture(soc)
+    reference = fingerprint_soc(soc)
+
+    resumed = tkd.build_mixed_soc(strict=False)
+    checkpoint.restore_into(resumed)
+    resumed.run(64)
+    assert resumed.sim.active_count == 0
+    restored = fingerprint_soc(resumed)
+    reference["cycle"] += 64  # only time advanced; nothing else may move
+    for key in reference:
+        assert restored[key] == reference[key], f"{key} diverged"
+
+
+# --------------------------------------------------------------------- #
+# serialization
+# --------------------------------------------------------------------- #
+def test_checkpoint_bytes_and_file_roundtrip(tmp_path):
+    soc = tkd.build_mixed_soc(strict=False)
+    soc.run(1000)
+    checkpoint = Checkpoint.capture(soc)
+
+    clone = Checkpoint.from_bytes(checkpoint.to_bytes())
+    assert clone.cycle == 1000
+
+    path = tmp_path / "run.ckpt"
+    checkpoint.save(str(path))
+    loaded = Checkpoint.load(str(path))
+    resumed = tkd.build_mixed_soc(strict=False)
+    loaded.restore_into(resumed)
+    assert resumed.sim.cycle == 1000
+
+    soc.run(1500)
+    resumed.run(1500)
+    ref = fingerprint_soc(soc)
+    got = fingerprint_soc(resumed)
+    for key in ref:
+        assert got[key] == ref[key], f"{key} diverged"
+
+
+def test_checkpoint_bad_bytes():
+    with pytest.raises(CheckpointFormatError):
+        Checkpoint.from_bytes(b"not a checkpoint at all")
+    soc = tkd.build_mixed_soc(strict=False)
+    soc.run(10)
+    data = bytearray(Checkpoint.capture(soc).to_bytes())
+    data[len(b"repro-ckpt")] = 0xFF  # corrupt the format version byte
+    with pytest.raises(CheckpointFormatError):
+        Checkpoint.from_bytes(bytes(data))
+
+
+# --------------------------------------------------------------------- #
+# named errors
+# --------------------------------------------------------------------- #
+def test_snapshot_version_mismatch():
+    soc = tkd.build_mixed_soc(strict=False)
+    soc.run(10)
+    state = soc.snapshot()
+    state["__v__"] = 999
+    fresh = tkd.build_mixed_soc(strict=False)
+    with pytest.raises(SnapshotVersionError):
+        fresh.restore(state)
+
+
+def test_snapshot_envelope_version_mismatch():
+    counter = SerialCounter()
+    next(counter)
+    envelope = counter.snapshot()
+    envelope["__v__"] = 999
+    with pytest.raises(SnapshotVersionError):
+        SerialCounter().restore(envelope)
+
+
+def test_restore_into_incongruent_build():
+    soc = tkd.build_mixed_soc(strict=False)
+    soc.run(10)
+    checkpoint = Checkpoint.capture(soc)
+    other = tkd.build_lock_soc(strict=False)
+    with pytest.raises(SnapshotMismatchError):
+        checkpoint.restore_into(other)
+
+
+def test_traffic_requires_explicit_seed():
+    with pytest.raises(TrafficSeedError):
+        PoissonTraffic("bad", None, count=4, address_ranges=[(0, 0x100)])
+
+
+# --------------------------------------------------------------------- #
+# fork sweeps
+# --------------------------------------------------------------------- #
+def _mixed_builder():
+    return tkd.build_mixed_soc(strict=False)
+
+
+def _set_rate(rate, soc):
+    soc.masters["gpu_axi"].traffic.rate = rate
+
+
+def _faulted_builder():
+    return tkd.build_faulted_adaptive_gals_soc(strict=False)
+
+
+def _extend_faults(soc):
+    events = FaultSchedule().link_down(2000, (1, 0), (1, 1)).events
+    for plane in soc.fabric._planes:
+        plane.fault_injector.extend_schedule(events)
+
+
+RATES = (0.05, 0.2, 0.5, 0.9)
+RATE_OVERRIDES = [
+    Override(name=f"rate={r}", apply=functools.partial(_set_rate, r))
+    for r in RATES
+]
+
+
+def test_fork_matches_cold_runs():
+    """The acceptance bar: >= 4 overrides forked from one warm prefix,
+    each byte-equal to a cold run applying the same override at the same
+    cycle."""
+    donor = _mixed_builder()
+    donor.run(1500)
+    checkpoint = Checkpoint.capture(donor)
+    report = fork(
+        checkpoint, RATE_OVERRIDES, builder=_mixed_builder, cycles=2500
+    )
+    assert report["fork_cycle"] == 1500
+    assert list(report["configs"]) == [o.name for o in RATE_OVERRIDES]
+    for override in RATE_OVERRIDES:
+        entry = report["configs"][override.name]
+        assert entry["mode"] == "fork"
+        cold = run_cold(_mixed_builder, override, 1500, 2500)
+        assert entry["metrics"] == cold, f"{override.name}: fork != cold"
+
+
+def test_fork_pool_matches_serial():
+    donor = _mixed_builder()
+    donor.run(1500)
+    checkpoint = Checkpoint.capture(donor)
+    serial = fork(
+        checkpoint, RATE_OVERRIDES, builder=_mixed_builder, cycles=1500,
+        processes=0,
+    )
+    pooled = fork(
+        checkpoint, RATE_OVERRIDES, builder=_mixed_builder, cycles=1500,
+        processes=2,
+    )
+    assert pooled == serial
+
+
+def test_fork_fault_schedule_override():
+    """A what-if fault future imposed on a restored checkpoint equals a
+    cold run extending the schedule at the same cycle."""
+    donor = _faulted_builder()
+    donor.run(1000)
+    checkpoint = Checkpoint.capture(donor)
+    override = Override(name="extra-fault", apply=_extend_faults)
+    report = fork(
+        checkpoint, [override], builder=_faulted_builder, cycles=2000
+    )
+    cold = run_cold(_faulted_builder, override, 1000, 2000)
+    assert report["configs"]["extra-fault"]["metrics"] == cold
+
+
+def test_fork_structural_override_runs_cold():
+    def _vc_builder():
+        return tkd.build_vc_gals_soc(strict=False)
+
+    donor = _mixed_builder()
+    donor.run(500)
+    checkpoint = Checkpoint.capture(donor)
+    report = fork(
+        checkpoint,
+        [
+            Override(name="warm", apply=functools.partial(_set_rate, 0.3)),
+            Override(name="vc-fabric", build=_vc_builder),
+        ],
+        builder=_mixed_builder,
+        cycles=1000,
+    )
+    assert report["configs"]["warm"]["mode"] == "fork"
+    assert report["configs"]["vc-fabric"]["mode"] == "cold"
+    assert report["configs"]["vc-fabric"]["metrics"]["cycle"] == 1500
+
+
+def test_override_validation():
+    with pytest.raises(ValueError):
+        Override(name="neither")
+    with pytest.raises(ValueError):
+        Override(name="both", apply=_extend_faults, build=_mixed_builder)
+    donor = _mixed_builder()
+    donor.run(10)
+    checkpoint = Checkpoint.capture(donor)
+    with pytest.raises(ValueError):
+        fork(checkpoint, [], builder=_mixed_builder, cycles=10)
+    dup = [RATE_OVERRIDES[0], RATE_OVERRIDES[0]]
+    with pytest.raises(ValueError):
+        fork(checkpoint, dup, builder=_mixed_builder, cycles=10)
