@@ -35,6 +35,18 @@ builders (``benchmarks/conftest.py``):
   the fault removed and ``throughput_retention_vs_healthy`` (degraded
   completed txns over healthy) is the scenario headline — the
   resilience SLA, hard-gated at >= 0.5.
+- ``dma_chain`` / ``stream_pipeline`` / ``collective_allreduce`` — the
+  programmable-endpoint scenarios from the ``repro.workloads`` registry
+  (descriptor-chained DMA engines, credit-throttled stream pipelines,
+  a tree allreduce over a torus).  Resolved through the scenario
+  registry (``repro.workloads.get(name).build(...)``) so the bench
+  exercises the same entry point users script against; their entries
+  additionally record condensed ``flow_stats`` percentiles (count/p50/
+  p99/p999 per direction and priority class) — the latency SLA surface
+  the workload layer exists to measure.
+
+``--list-workloads`` prints every bench workload (with its window) and
+every registry scenario (with its ``describe()`` line) and exits.
 
 Each workload runs under ``Simulator(strict=True)`` (tick everything,
 commit everything) and under the default activity-driven kernel, and the
@@ -72,6 +84,7 @@ Usage::
     PYTHONPATH=src python scripts/run_perf_bench.py [--out BENCH_kernel.json]
     PYTHONPATH=src python scripts/run_perf_bench.py --quick   # CI smoke
     PYTHONPATH=src python scripts/run_perf_bench.py --quick --workload vc_torus
+    PYTHONPATH=src python scripts/run_perf_bench.py --list-workloads
     PYTHONPATH=src python scripts/run_perf_bench.py --quick \
         --check-against BENCH_kernel.json --out /tmp/fresh.json
 """
@@ -106,6 +119,7 @@ from repro.soc import FaultSchedule, InitiatorSpec, TargetSpec  # noqa: E402
 from repro.sweep import Checkpoint, Override, fork  # noqa: E402
 from repro.sweep.fork import run_cold  # noqa: E402
 from repro.transport import topology as topo  # noqa: E402
+from repro import workloads  # noqa: E402  (import registers scenarios)
 
 
 def _reset_global_ids() -> None:
@@ -265,6 +279,51 @@ def build_degraded_hotspot(strict: bool, scale: int, faulted: bool = True):
     return build_adaptive_hotspot(strict, scale, faults=faults)
 
 
+def _scenario_builder(name: str):
+    """Bench builder for a registry scenario.
+
+    Deliberately goes through :func:`repro.workloads.get` — the bench
+    measures the same entry point users script against — with default
+    parameters, so the recorded numbers stay comparable across PRs.
+    """
+
+    def build(strict: bool, scale: int):
+        _reset_global_ids()
+        return workloads.get(name).build(strict_kernel=strict)
+
+    build.__name__ = f"build_{name}"
+    build.__doc__ = workloads.describe(name)
+    return build
+
+
+#: Bench workloads resolved through the scenario registry; their entries
+#: carry condensed flow_stats (the latency SLA surface).
+SCENARIO_WORKLOADS = ("dma_chain", "stream_pipeline", "collective_allreduce")
+
+
+def _condensed_flow_stats(soc) -> dict:
+    """count/p50/p99/p999 per direction and priority class.
+
+    The full :meth:`NocSoc.flow_stats` surface (per-pair histograms,
+    mean/min/max/p95) stays available to scripts; the bench records just
+    the tail-latency headline so BENCH_kernel.json tracks SLA drift
+    without ballooning.
+    """
+    condensed = {}
+    for direction, groups in soc.flow_stats().items():
+        per_prio = {}
+        for prio, summary in groups.get("priority", {}).items():
+            per_prio[prio] = {
+                "count": summary["count"],
+                "p50": summary["p50"],
+                "p99": summary["p99"],
+                "p999": summary["p999"],
+            }
+        if per_prio:
+            condensed[direction] = per_prio
+    return condensed
+
+
 def profile_workload(
     builder, cycles: int, scale: int, profile_path: Path
 ) -> None:
@@ -288,12 +347,15 @@ def profile_workload(
 
 
 def run_workload(
-    builder, strict: bool, cycles: int, scale: int, repeats: int = 1
+    builder, strict: bool, cycles: int, scale: int, repeats: int = 1,
+    flow_stats: bool = False,
 ) -> dict:
     """Run one (workload, kernel) pair; with ``repeats > 1`` the run is
     repeated and the best wall time kept — wall-clock throughput on a
     shared machine is a *minimum-noise* measurement (simulated behaviour
-    is identical across repeats; only the timing varies)."""
+    is identical across repeats; only the timing varies).
+    ``flow_stats=True`` adds the condensed per-priority latency
+    percentiles (identical across repeats, taken from the kept run)."""
     best = None
     for _ in range(max(1, repeats)):
         soc = builder(strict, scale)
@@ -304,7 +366,9 @@ def run_workload(
             best = (wall, soc)
     wall, soc = best
     flits = soc.fabric.total_flits_forwarded()
+    extra = {"flow_stats": _condensed_flow_stats(soc)} if flow_stats else {}
     return {
+        **extra,
         "kernel": "reference" if strict else "activity",
         "cycles": cycles,
         "wall_s": round(wall, 4),
@@ -342,6 +406,8 @@ WORKLOADS = {
     "adaptive_hotspot": build_adaptive_hotspot,
     "degraded_hotspot": build_degraded_hotspot,
 }
+for _name in SCENARIO_WORKLOADS:
+    WORKLOADS[_name] = _scenario_builder(_name)
 
 #: Router executors measured by the router_step microbench (the same
 #: names SocBuilder(router_core=...) accepts).
@@ -543,7 +609,8 @@ def run_sweep_fork_bench(
 
 
 def check_against(
-    baseline_path: Path, results: dict, threshold: float, section: str
+    baseline_path: Path, results: dict, threshold: float, section: str,
+    remeasure=None,
 ) -> int:
     """Perf-regression gate: compare activity-kernel throughput.
 
@@ -557,7 +624,14 @@ def check_against(
     full runs, ``quick_workloads`` for ``--quick`` runs) and skips
     entries whose measurement window still differs.  Workloads missing
     from the baseline are skipped too (new workloads cannot regress
-    against numbers that do not exist yet).  Returns the number of
+    against numbers that do not exist yet).
+
+    Wall-clock on shared runners is bursty: a neighbour stealing the
+    CPU for a few seconds can sink whichever workload happened to be
+    measuring, and which one that is changes run to run.  So before a
+    drop counts, the workload is re-measured once via ``remeasure`` and
+    the better number wins — a scheduling burst will not reproduce on
+    the retry, a real regression will.  Returns the number of
     regressions past ``threshold``.
     """
     try:
@@ -590,11 +664,34 @@ def check_against(
             # The microbench gates ns per router-cycle per executor:
             # *lower* is better, so the threshold bounds the slowdown.
             base_cores = (base_entry or {}).get("cores", {})
-            for core, numbers in sorted(entry.get("cores", {}).items()):
+            cores = {
+                core: numbers["ns_per_router_cycle"]
+                for core, numbers in entry.get("cores", {}).items()
+            }
+
+            def _slow_cores():
+                return [
+                    core
+                    for core, ns in cores.items()
+                    if base_cores.get(core, {}).get("ns_per_router_cycle")
+                    and ns / base_cores[core]["ns_per_router_cycle"]
+                    > 1.0 + threshold
+                ]
+
+            note = ""
+            if _slow_cores() and remeasure is not None:
+                print("   perf-gate router_step: slow, re-measuring once")
+                fresh = remeasure("router_step")
+                for core, numbers in (fresh or {}).get("cores", {}).items():
+                    if core in cores:
+                        cores[core] = min(
+                            cores[core], numbers["ns_per_router_cycle"]
+                        )
+                note = ", best of retry"
+            for core, current_ns in sorted(cores.items()):
                 base_ns = base_cores.get(core, {}).get(
                     "ns_per_router_cycle", 0
                 )
-                current_ns = numbers["ns_per_router_cycle"]
                 if not base_ns or not current_ns:
                     continue
                 ratio = current_ns / base_ns
@@ -605,7 +702,7 @@ def check_against(
                 print(
                     f"   perf-gate router_step[{core}]: {current_ns:.0f} "
                     f"vs baseline {base_ns:.0f} ns/router-cycle "
-                    f"({ratio:.2f}x) {verdict}"
+                    f"({ratio:.2f}x{note}) {verdict}"
                 )
             continue
         if not base_entry or "activity" not in base_entry:
@@ -617,22 +714,37 @@ def check_against(
                 f"{entry['activity']['cycles']} cycles), skipping"
             )
             continue
-        for metric, unit in (
-            ("cycles_per_s", "cyc/s"),
-            ("flits_per_s", "flits/s"),
-        ):
+        metrics = (("cycles_per_s", "cyc/s"), ("flits_per_s", "flits/s"))
+        current = {m: entry["activity"].get(m, 0) for m, _ in metrics}
+
+        def _dropped():
+            return [
+                m
+                for m, _ in metrics
+                if base_entry["activity"].get(m)
+                and current[m] / base_entry["activity"][m] < 1.0 - threshold
+            ]
+
+        note = ""
+        if _dropped() and remeasure is not None:
+            print(f"   perf-gate {name}: slow, re-measuring once")
+            fresh = remeasure(name)
+            if fresh and fresh.get("cycles") == entry["activity"]["cycles"]:
+                for m, _ in metrics:
+                    current[m] = max(current[m], fresh.get(m, 0))
+                note = ", best of retry"
+        for metric, unit in metrics:
             base = base_entry["activity"].get(metric, 0)
-            current = entry["activity"][metric]
             if not base:
                 continue  # no flits forwarded, or an old-format baseline
-            ratio = current / base
+            ratio = current[metric] / base
             verdict = "ok"
             if ratio < 1.0 - threshold:
                 verdict = f"REGRESSION (>{threshold:.0%} drop)"
                 regressions += 1
             print(
-                f"   perf-gate {name}: {current:.0f} vs baseline "
-                f"{base:.0f} {unit} ({ratio:.2f}x) {verdict}"
+                f"   perf-gate {name}: {current[metric]:.0f} vs baseline "
+                f"{base:.0f} {unit} ({ratio:.2f}x{note}) {verdict}"
             )
     return regressions
 
@@ -664,8 +776,17 @@ def main(argv=None) -> int:
         help="measurement window in cycles (adaptive_hotspot)",
     )
     parser.add_argument(
+        "--scenario-cycles", type=int, default=10_000,
+        help="measurement window in cycles (registry scenarios: "
+             "dma_chain, stream_pipeline, collective_allreduce)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="small windows for CI smoke runs",
+    )
+    parser.add_argument(
+        "--list-workloads", action="store_true",
+        help="print every bench workload and registry scenario, then exit",
     )
     parser.add_argument(
         "--check-against", metavar="JSON", default=None,
@@ -707,6 +828,18 @@ def main(argv=None) -> int:
         "adaptive_hotspot": 3_000 if args.quick else args.hotspot_cycles,
         "degraded_hotspot": 3_000 if args.quick else args.hotspot_cycles,
     }
+    for name in SCENARIO_WORKLOADS:
+        windows[name] = 2_500 if args.quick else args.scenario_cycles
+
+    if args.list_workloads:
+        print("bench workloads:")
+        for name in sorted(WORKLOADS):
+            doc = (WORKLOADS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:22s} {doc}")
+        print("registry scenarios (repro.workloads.get(name).build(...)):")
+        for name in workloads.available():
+            print(f"  {name:22s} {workloads.describe(name)}")
+        return 0
     scale = 1
     selected = {
         name: builder
@@ -754,12 +887,14 @@ def main(argv=None) -> int:
     }
     for name, builder in selected.items():
         cycles = windows[name]
+        is_scenario = name in SCENARIO_WORKLOADS
         print(f"== {name} ({cycles} cycles) ==")
         reference = run_workload(
             builder, True, cycles, scale, repeats=args.repeats
         )
         activity = run_workload(
-            builder, False, cycles, scale, repeats=args.repeats
+            builder, False, cycles, scale, repeats=args.repeats,
+            flow_stats=is_scenario,
         )
         if args.profile:
             profile_workload(
@@ -868,8 +1003,23 @@ def main(argv=None) -> int:
     out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {out}")
     if args.check_against:
+
+        def remeasure(name):
+            # One fresh activity-kernel measurement of a workload whose
+            # first sample fell past the gate threshold, so a transient
+            # scheduling burst on the runner cannot fail the gate alone.
+            if name == "router_step":
+                return run_router_step_bench()
+            if name not in WORKLOADS or name not in windows:
+                return None
+            return run_workload(
+                WORKLOADS[name], False, windows[name], scale,
+                repeats=args.repeats,
+            )
+
         regressions = check_against(
-            Path(args.check_against), results, args.check_threshold, section
+            Path(args.check_against), results, args.check_threshold,
+            section, remeasure=remeasure,
         )
         if regressions:
             print(f"!! perf gate failed: {regressions} regression(s)")

@@ -9,11 +9,15 @@ them behind target NIUs.
 
 from repro.ip.slaves import MemoryDevice
 from repro.ip.traffic import (
+    TRAFFIC_KINDS,
     DependentTraffic,
     PoissonTraffic,
     ScriptedTraffic,
     StreamTraffic,
     SyncWorkload,
+    TrafficSeedError,
+    TrafficSpec,
+    WorkloadStallError,
 )
 
 __all__ = [
@@ -23,4 +27,8 @@ __all__ = [
     "ScriptedTraffic",
     "StreamTraffic",
     "SyncWorkload",
+    "TRAFFIC_KINDS",
+    "TrafficSeedError",
+    "TrafficSpec",
+    "WorkloadStallError",
 ]

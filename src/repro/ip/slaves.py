@@ -114,12 +114,15 @@ class MemoryDevice(Component, Snapshottable):
 
     def next_event_cycle(self, now: int):
         """A request at the socket needs a tick now; otherwise the next
-        event is the oldest pipeline entry's maturation cycle — or a
-        wake, when the response channel is full (pop-registered) or the
-        device is empty (push-registered)."""
+        event is the oldest pipeline entry's maturation cycle.  A matured
+        entry blocked on a full response channel keeps the device hot
+        rather than deferring to the pop-wake: a pop frees channel space
+        in the same cycle it happens, and the strict kernel lets a
+        later-ticked device retire into that slot immediately.  Dormant
+        (``None``) only when truly empty — new requests push-wake us."""
         if self.socket.requests._committed:
             return now
-        if self._pipeline and self.socket.responses.can_push():
+        if self._pipeline:
             ready = self._pipeline[0][0]
             return ready if ready > now else now
         return None

@@ -35,6 +35,7 @@ their master.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
 from repro.core.transaction import (
@@ -44,7 +45,20 @@ from repro.core.transaction import (
     make_read,
     make_write,
 )
+from repro.sim.kernel import SimulationError
 from repro.sim.snapshot import Snapshottable
+
+
+class WorkloadStallError(SimulationError):
+    """A run's cycle budget elapsed with workload traffic provably stuck.
+
+    Raised by :meth:`repro.soc.builder.NocSoc.run_to_completion` in place
+    of the kernel's bare budget timeout when at least one master's traffic
+    is unfinished, carrying each stuck source's own diagnosis (a halted
+    DMA descriptor, a stream starved of credit tokens, an intent the
+    socket never accepted) so a program that can never complete fails
+    loudly with the *reason*, not a silent timeout.
+    """
 
 
 class TrafficSeedError(ValueError):
@@ -67,6 +81,216 @@ def _require_seed(name: str, seed) -> int:
     return seed
 
 
+#: Source kinds TrafficSpec can describe (the five classic constructors
+#: below plus the DMA descriptor engine from repro.workloads).
+TRAFFIC_KINDS = ("scripted", "poisson", "dependent", "stream", "sync", "dma")
+
+_SEEDED_KINDS = ("poisson", "dependent", "sync")
+
+
+@dataclass
+class TrafficSpec:
+    """One declarative record describing any traffic source.
+
+    The five ad-hoc source constructors grew five different call shapes;
+    this is the single shape that covers them all — ``kind`` picks the
+    source class, the shared knobs (``seed``, ``rate``, ``priority``,
+    ``pairs``) mean the same thing for every kind, and the kind-specific
+    knobs are ignored by kinds that do not use them.  ``validate()`` is
+    the one place every argument check (including
+    :class:`TrafficSeedError`) happens; the legacy constructors route
+    their own validation through it, so a spec and its equivalent direct
+    construction accept and reject exactly the same inputs.
+
+    ``master`` may be left ``None`` when the spec is resolved by
+    ``SocBuilder(traffic=[...])``/``workload=`` against a named
+    initiator; :meth:`build` then stamps the initiator's name on the
+    source.
+
+    Kind map (knobs beyond the shared ones):
+
+    - ``"scripted"`` — ``intents`` (list of prebuilt Transactions);
+    - ``"poisson"`` — ``count``, ``read_fraction``, ``burst_beats``
+      (tuple of candidate lengths), ``beat_bytes``, ``threads``,
+      ``tags``, ``posted``;
+    - ``"dependent"`` — ``count``, ``think_cycles``, ``read_fraction``,
+      ``beat_bytes``;
+    - ``"stream"`` — ``base``, ``bytes_total``, ``burst_beats`` (int),
+      ``beat_bytes``, ``write``, ``posted``, ``gap_cycles``;
+    - ``"sync"`` — ``style``, ``sema_addr``, ``work_addr``,
+      ``iterations``, ``work_ops``;
+    - ``"dma"`` — ``program`` (list of
+      :class:`repro.workloads.DmaDescriptor`).
+    """
+
+    kind: str
+    master: Optional[str] = None
+    seed: Optional[int] = None
+    count: int = 100
+    rate: float = 0.2
+    priority: int = 0
+    pairs: Optional[List[Tuple[int, int]]] = None  # (base, size) windows
+    read_fraction: Optional[float] = None
+    burst_beats: Optional[object] = None  # tuple (poisson) / int (stream)
+    beat_bytes: int = 4
+    threads: int = 1
+    tags: int = 1
+    posted: bool = False
+    write: bool = True
+    base: int = 0
+    bytes_total: int = 4096
+    gap_cycles: int = 0
+    think_cycles: int = 2
+    style: str = "lock"
+    sema_addr: int = 0
+    work_addr: int = 0
+    iterations: int = 4
+    work_ops: int = 3
+    intents: Optional[List[Transaction]] = None
+    program: Optional[list] = field(default=None)
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> "TrafficSpec":
+        """Check every argument, raising the same errors (same types,
+        same messages) the legacy constructors always raised."""
+        name = self.master if self.master is not None else f"<{self.kind}>"
+        if self.kind not in TRAFFIC_KINDS:
+            raise ValueError(
+                f"traffic spec {name!r}: unknown kind {self.kind!r}; "
+                f"known kinds: {TRAFFIC_KINDS}"
+            )
+        if self.kind == "poisson":
+            if not 0.0 < self.rate <= 1.0:
+                raise ValueError("rate must be in (0, 1]")
+            if not self.pairs:
+                raise ValueError("need at least one address range")
+            if self.burst_beats is not None and isinstance(
+                self.burst_beats, bool
+            ):
+                raise ValueError(
+                    f"traffic spec {name!r}: burst_beats must be an int or "
+                    f"a tuple of ints"
+                )
+        elif self.kind == "dependent":
+            if not self.pairs:
+                raise ValueError("need at least one address range")
+        elif self.kind == "stream":
+            if self.bytes_total <= 0:
+                raise ValueError(
+                    f"traffic spec {name!r}: bytes_total must be > 0"
+                )
+            if self.burst_beats is not None and not isinstance(
+                self.burst_beats, int
+            ):
+                raise ValueError(
+                    f"traffic spec {name!r}: stream burst_beats must be a "
+                    f"single int, got {self.burst_beats!r}"
+                )
+        elif self.kind == "sync":
+            if self.style not in ("lock", "excl"):
+                raise ValueError("style must be 'lock' or 'excl'")
+        elif self.kind == "scripted":
+            if self.intents is None:
+                raise ValueError(
+                    f"traffic spec {name!r}: scripted kind needs "
+                    f"intents=[Transaction, ...]"
+                )
+        elif self.kind == "dma":
+            if not self.program:
+                raise ValueError(
+                    f"traffic spec {name!r}: dma kind needs a non-empty "
+                    f"program=[DmaDescriptor, ...]"
+                )
+        if self.kind in _SEEDED_KINDS:
+            _require_seed(name, self.seed)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def build(self, name: Optional[str] = None):
+        """Construct the concrete source this spec describes.
+
+        ``name`` (typically the initiator's name, supplied by the
+        builder) overrides ``master``; one of the two must be set for
+        every kind that stamps a master name on its intents.
+        """
+        self.validate()
+        if name is None:
+            name = self.master
+        if self.kind == "scripted":
+            return ScriptedTraffic(self.intents)
+        if name is None:
+            raise ValueError(
+                f"TrafficSpec(kind={self.kind!r}) needs a master name — "
+                f"set master=... or resolve it via SocBuilder(traffic=[...])"
+            )
+        if self.kind == "poisson":
+            beats = self.burst_beats
+            if beats is None:
+                beats = (1, 4)
+            elif isinstance(beats, int):
+                beats = (beats,)
+            else:
+                beats = tuple(beats)
+            return PoissonTraffic(
+                name,
+                self.seed,
+                self.count,
+                list(self.pairs),
+                rate=self.rate,
+                read_fraction=(
+                    0.6 if self.read_fraction is None else self.read_fraction
+                ),
+                burst_beats=beats,
+                beat_bytes=self.beat_bytes,
+                threads=self.threads,
+                tags=self.tags,
+                priority=self.priority,
+                posted_writes=self.posted,
+            )
+        if self.kind == "dependent":
+            return DependentTraffic(
+                name,
+                self.seed,
+                self.count,
+                list(self.pairs),
+                think_cycles=self.think_cycles,
+                read_fraction=(
+                    0.8 if self.read_fraction is None else self.read_fraction
+                ),
+                beat_bytes=self.beat_bytes,
+                priority=self.priority,
+            )
+        if self.kind == "stream":
+            return StreamTraffic(
+                name,
+                base=self.base,
+                bytes_total=self.bytes_total,
+                burst_beats=(
+                    8 if self.burst_beats is None else self.burst_beats
+                ),
+                beat_bytes=self.beat_bytes,
+                write=self.write,
+                posted=self.posted,
+                priority=self.priority,
+                gap_cycles=self.gap_cycles,
+            )
+        if self.kind == "sync":
+            return SyncWorkload(
+                name,
+                self.style,
+                self.sema_addr,
+                self.work_addr,
+                iterations=self.iterations,
+                work_ops=self.work_ops,
+                seed=self.seed,
+            )
+        # "dma": the engine lives in the workloads subsystem; imported
+        # lazily so repro.ip has no import-time dependency on it.
+        from repro.workloads.dma import DmaEngine
+
+        return DmaEngine(name, self.program, priority=self.priority)
+
+
 class ScriptedTraffic(Snapshottable):
     """Issue a fixed list of intents in order, as fast as accepted."""
 
@@ -74,6 +298,7 @@ class ScriptedTraffic(Snapshottable):
 
     def __init__(self, intents: Iterable[Transaction]) -> None:
         self._intents: List[Transaction] = list(intents)
+        TrafficSpec(kind="scripted", intents=self._intents).validate()
         self._next = 0
         self.completions: List[Tuple[int, int, ResponseStatus]] = []
 
@@ -133,12 +358,18 @@ class PoissonTraffic(Snapshottable):
         priority: int = 0,
         posted_writes: bool = False,
     ) -> None:
-        if not 0.0 < rate <= 1.0:
-            raise ValueError("rate must be in (0, 1]")
-        if not address_ranges:
-            raise ValueError("need at least one address range")
+        # All argument checking (rate window, range list, seed) lives in
+        # the declarative spec — construct-and-validate one so direct
+        # construction and SocBuilder(traffic=[...]) reject identically.
+        TrafficSpec(
+            kind="poisson",
+            master=name,
+            seed=seed,
+            rate=rate,
+            pairs=list(address_ranges),
+        ).validate()
         self.name = name
-        self.rng = random.Random(_require_seed(name, seed))
+        self.rng = random.Random(seed)
         self.remaining = count
         self.address_ranges = list(address_ranges)
         self.rate = rate
@@ -252,8 +483,14 @@ class DependentTraffic(Snapshottable):
         beat_bytes: int = 4,
         priority: int = 0,
     ) -> None:
+        TrafficSpec(
+            kind="dependent",
+            master=name,
+            seed=seed,
+            pairs=list(address_ranges),
+        ).validate()
         self.name = name
-        self.rng = random.Random(_require_seed(name, seed))
+        self.rng = random.Random(seed)
         self.remaining = count
         self.address_ranges = list(address_ranges)
         self.think_cycles = think_cycles
@@ -313,6 +550,12 @@ class StreamTraffic(Snapshottable):
         priority: int = 0,
         gap_cycles: int = 0,
     ) -> None:
+        TrafficSpec(
+            kind="stream",
+            master=name,
+            bytes_total=bytes_total,
+            burst_beats=burst_beats,
+        ).validate()
         self.name = name
         self.base = base
         self.burst_beats = burst_beats
@@ -400,15 +643,16 @@ class SyncWorkload(Snapshottable):
         work_ops: int = 3,
         seed: int = 0,
     ) -> None:
-        if style not in ("lock", "excl"):
-            raise ValueError("style must be 'lock' or 'excl'")
+        TrafficSpec(
+            kind="sync", master=name, seed=seed, style=style
+        ).validate()
         self.name = name
         self.style = style
         self.sema_addr = sema_addr
         self.work_addr = work_addr
         self.iterations_left = iterations
         self.work_ops = work_ops
-        self.rng = random.Random(_require_seed(name, seed))
+        self.rng = random.Random(seed)
         self._state = "idle"
         self._work_left = 0
         self._inflight_id: Optional[int] = None

@@ -157,6 +157,17 @@ class Component:
         contract to guarantee the event-wheel kernel never skips *over*
         an edge: return the next scheduled cycle and the kernel will
         land on it exactly, even if the whole fabric is otherwise quiet.
+
+        Stay-hot rule: a component holding work that only *downstream
+        queue space* would release must return ``now``, never ``None``.
+        :meth:`~repro.sim.queue.SimQueue.pop` frees capacity in the same
+        cycle it happens, and the strict kernel lets a later-registered
+        component use that slot immediately — whereas a pop-registered
+        :meth:`wake` only re-arms the component on the *next* cycle,
+        shifting its action one cycle late relative to strict.  ``None``
+        is only safe when the component is truly empty of work, because
+        push visibility is commit-delayed and push-wakes therefore land
+        exactly when the new work becomes observable.
         """
         return now
 

@@ -25,6 +25,18 @@ class SimulationError(RuntimeError):
     """
 
 
+class RunBudgetExceededError(SimulationError):
+    """:meth:`Simulator.run_until` spent its ``max_cycles`` budget before
+    its predicate held.
+
+    A *named* subclass so callers that can diagnose the stall (e.g.
+    :meth:`repro.soc.builder.NocSoc.run_to_completion` asking each
+    workload what it is blocked on) can tell a plain budget timeout from
+    the other :class:`SimulationError` conditions — a partition watchdog
+    firing, say — which they must not mask.
+    """
+
+
 #: Registration-order sort key for the wake merge (C-level accessor: the
 #: merge sorts on every cycle that woke anything).
 _sched_key = attrgetter("_sched_index")
@@ -441,14 +453,14 @@ class Simulator(Snapshottable):
         simulation never advances more than ``max_cycles`` cycles past the
         starting point — the final stretch is clamped so a coarse
         ``check_every`` cannot overshoot the budget.  Raises
-        :class:`SimulationError` if ``max_cycles`` elapse first — the
-        standard way benches and tests detect deadlock/livelock.
+        :class:`RunBudgetExceededError` if ``max_cycles`` elapse first —
+        the standard way benches and tests detect deadlock/livelock.
         """
         start = self.cycle
         while not predicate():
             elapsed = self.cycle - start
             if elapsed >= max_cycles:
-                raise SimulationError(
+                raise RunBudgetExceededError(
                     f"run_until exceeded {max_cycles} cycles "
                     f"(started at {start}, now {self.cycle})"
                 )

@@ -9,6 +9,7 @@ from repro.core.address_map import AddressMap
 from repro.core.layer import TransactionLayerConfig, build_layer_config
 from repro.core.services import ExclusiveMonitor, LockManager, NocService
 from repro.ip.slaves import MemoryDevice
+from repro.ip.traffic import TrafficSpec, WorkloadStallError
 from repro.niu.ahb_niu import AhbInitiatorNiu
 from repro.niu.axi_niu import AxiInitiatorNiu
 from repro.niu.base import InitiatorNiu, TargetNiu
@@ -23,7 +24,7 @@ from repro.protocols.base import ProtocolMaster, SlaveSocket
 from repro.protocols.ocp import OcpMaster
 from repro.protocols.proprietary import MsgMaster
 from repro.protocols.vci import AvciMaster, BvciMaster, PvciMaster
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import RunBudgetExceededError, Simulator
 from repro.sim.trace import Tracer
 from repro.soc.config import EscapeVcPolicy, InitiatorSpec, TargetSpec
 from repro.transport import topology as topo_mod
@@ -102,8 +103,40 @@ class NocSoc:
         )
 
     def run_to_completion(self, max_cycles: int = 200_000) -> int:
-        """Run until every master's traffic fully completes."""
-        return self.sim.run_until(self.quiescent, max_cycles=max_cycles)
+        """Run until every master's traffic fully completes.
+
+        If the cycle budget elapses with at least one master's traffic
+        unfinished, the bare kernel timeout is converted into a
+        :class:`~repro.ip.traffic.WorkloadStallError` carrying every
+        stuck source's own diagnosis (sources may implement
+        ``diagnose_stall()`` — DMA engines name the halted/starved
+        descriptor).  A timeout with all traffic retired — something
+        stuck below the masters — re-raises untouched, as do the other
+        SimulationError conditions (e.g. a partition watchdog).
+        """
+        try:
+            return self.sim.run_until(self.quiescent, max_cycles=max_cycles)
+        except RunBudgetExceededError as exc:
+            reasons = []
+            for name, master in sorted(self.masters.items()):
+                if master.finished():
+                    continue
+                diagnose = getattr(master.traffic, "diagnose_stall", None)
+                reason = diagnose() if diagnose is not None else None
+                if reason is None:
+                    reason = (
+                        f"{name}: {master.outstanding} outstanding, "
+                        f"pending intent="
+                        f"{'yes' if master._pending is not None else 'no'}, "
+                        f"traffic done={master.traffic.done()}"
+                    )
+                reasons.append(reason)
+            if not reasons:
+                raise
+            raise WorkloadStallError(
+                f"run_to_completion budget of {max_cycles} cycles elapsed "
+                f"with stuck workload traffic: " + " | ".join(reasons)
+            ) from exc
 
     def run(self, cycles: int) -> int:
         return self.sim.run(cycles)
@@ -293,6 +326,8 @@ class SocBuilder:
         stream_fast_path: bool = True,
         faults=None,
         router_core: Optional[str] = None,
+        traffic=None,
+        workload=None,
     ) -> None:
         self.name = name
         self.mode = mode
@@ -329,6 +364,13 @@ class SocBuilder:
         # batched struct-of-arrays stepper; the determinism suite pins
         # all three byte-identical (see transport.router_core).
         self.router_core = router_core
+        # Declarative traffic (PR 9): traffic= is an iterable of
+        # TrafficSpec records (each naming its master=), workload= maps
+        # initiator name -> ready TrafficSource or TrafficSpec.  Both
+        # override/fill the per-spec traffic at build time, so initiators
+        # can be declared with traffic=None and wired by a scenario.
+        self.traffic = traffic
+        self.workload = workload
         self.initiators: List[InitiatorSpec] = []
         self.targets: List[TargetSpec] = []
 
@@ -344,6 +386,41 @@ class SocBuilder:
             raise ValueError(f"duplicate target {spec.name!r}")
         self.targets.append(spec)
         return self
+
+    # ------------------------------------------------------------------ #
+    def _resolve_traffic(self) -> Dict[str, object]:
+        """Merge the ``traffic=``/``workload=`` knobs into one validated
+        per-initiator source-override map."""
+        overrides: Dict[str, object] = {}
+        names = {spec.name for spec in self.initiators}
+
+        def assign(name: str, value, knob: str) -> None:
+            if name not in names:
+                raise ValueError(
+                    f"{knob}: no initiator named {name!r}; declared "
+                    f"initiators: {sorted(names)}"
+                )
+            if name in overrides:
+                raise ValueError(
+                    f"{knob}: initiator {name!r} was given traffic twice"
+                )
+            overrides[name] = value
+
+        for spec in self.traffic or []:
+            if not isinstance(spec, TrafficSpec):
+                raise ValueError(
+                    f"traffic=[...] entries must be TrafficSpec instances, "
+                    f"got {type(spec).__name__}"
+                )
+            if spec.master is None:
+                raise ValueError(
+                    "traffic=[...]: every TrafficSpec needs "
+                    "master=<initiator name>"
+                )
+            assign(spec.master, spec, "traffic")
+        for name, value in (self.workload or {}).items():
+            assign(name, value, "workload")
+        return overrides
 
     # ------------------------------------------------------------------ #
     def _default_topology(self, endpoints: int) -> Topology:
@@ -510,12 +587,22 @@ class SocBuilder:
         )
         address_map = self._build_address_map()
 
+        traffic_overrides = self._resolve_traffic()
         masters: Dict[str, ProtocolMaster] = {}
         initiator_nius: Dict[str, InitiatorNiu] = {}
         for endpoint, spec in enumerate(self.initiators):
             master_cls = _MASTER_CLASSES[spec.protocol]
+            source = traffic_overrides.get(spec.name, spec.traffic)
+            if isinstance(source, TrafficSpec):
+                source = source.build(spec.name)
+            if source is None:
+                raise ValueError(
+                    f"initiator {spec.name!r} has no traffic source — give "
+                    f"InitiatorSpec(traffic=...), SocBuilder(traffic=[...])"
+                    f" or workload={{...}}"
+                )
             master = master_cls(
-                spec.name, sim, spec.traffic, **spec.protocol_kwargs
+                spec.name, sim, source, **spec.protocol_kwargs
             )
             domain = endpoint_domains.get(endpoint)
             if domain is not None:

@@ -164,19 +164,17 @@ class InjectionPort(Component, Snapshottable):
     _next_event_known = True
 
     def next_event_cycle(self, now: int):
-        """Dormant while every pending flit stream is blocked on a full
-        feed and no packet can be segmented — the feed pops and packet
-        pushes that end that are wake-registered in __init__."""
-        if self.vcs == 1:
-            pending = self._pending[0]
-            if pending:
-                return now if self.flit_queues[0].can_push() else None
-            return now if self.packet_queue._committed else None
-        for vc in range(self.vcs):
-            if self._pending[vc] and self.flit_queues[vc].can_push():
-                return now
+        """Dormant only when nothing is pending and no packet can be
+        segmented (the packet pushes that end that are wake-registered in
+        __init__).  A port holding flits blocked on a full feed must stay
+        *hot*: a downstream pop frees feed space in the same cycle it
+        happens, and the strict kernel lets a later-ticked port use that
+        space immediately — a pop-wake would re-arm us one cycle late."""
         if self.packet_queue._committed:
-            return now  # a fresh stream may be segmented this cycle
+            return now
+        for pending in self._pending:
+            if pending:
+                return now
         return None
 
     def tick(self, cycle: int) -> None:
@@ -342,42 +340,25 @@ class EjectionPort(Component, Snapshottable):
         ).add(latency)
 
     def is_idle(self) -> bool:
-        if any(self.flit_queues):
-            return False
-        if self._rob_count:
-            # Quiescent only if nothing is releasable right now; a gap
-            # fill (flit-queue push) or freed queue slot (pop) wakes us.
-            for src, pending in self._rob.items():
-                packet = pending.get(self._expected.get(src, 0))
-                if packet is not None and (
-                    self._packet_queues[packet.kind].can_push()
-                ):
-                    return False
-        return True
+        # Anything buffered — a committed flit or a parked reorder-buffer
+        # packet — keeps the port hot: a delivery-queue pop can make a
+        # held tail (or parked packet) releasable in the same cycle it
+        # happens, which a pop-wake would only catch one cycle late.
+        return not any(self.flit_queues) and not self._rob_count
 
     _next_event_known = True
 
     def next_event_cycle(self, now: int):
-        """Dormant while every waiting flit is a tail blocked on its full
-        delivery queue (packet-granularity backpressure): only a queue
-        event — gap-filling flit push or delivery pop, both
-        wake-registered — changes that.  Resequencing planes stay hot
-        whenever anything is buffered (the reorder logic is stateful)."""
-        if self.resequence:
-            if self._rob_count:
-                return now
-            for queue in self.flit_queues:
-                if queue._committed:
-                    return now
-            return None
-        for vc, queue in enumerate(self.flit_queues):
-            committed = queue._committed
-            if not committed:
-                continue
-            flit = committed[0]
-            if flit.seq != flit.count - 1:
-                return now  # head/body flit is always acceptable
-            if self._queue_for(vc, flit).can_push():
+        """Dormant only while nothing is buffered: arrivals are
+        wake-registered (flit-queue pushes).  A port holding a tail flit
+        blocked on its full delivery queue must stay *hot* rather than
+        waiting for the delivery pop's wake — the pop frees queue space
+        in the same cycle it happens, and the strict kernel lets a
+        later-ticked port deliver that same cycle."""
+        if self._rob_count:
+            return now
+        for queue in self.flit_queues:
+            if queue._committed:
                 return now
         return None
 

@@ -1,0 +1,305 @@
+"""Compact versioned traces: record injected intents, replay them exactly.
+
+:class:`TraceWriter` wraps any traffic source in a recording shim; every
+intent the master pulls is logged as ``(cycle, op, address, ...)``.  The
+JSONL serialization (one header line + one line per intent) round-trips
+through :class:`TraceReplay`, whose per-master
+:class:`TraceReplaySource` re-issues each intent at *exactly* the
+recorded cycle.
+
+Because replay sources construct their transactions lazily — at the
+recorded poll cycle, in the recorded cross-master order — the global
+transaction-id stream of a replayed run matches the recorded run
+allocation-for-allocation, and the determinism fingerprint comes out
+byte-identical.  (Sources that pre-build their transactions at
+construction time, like ``ScriptedTraffic``, already allocate ids before
+the run starts; record→replay of those reproduces behavior but not the
+id stream.)
+
+Replay is *checked*: if the replayed SoC diverges from the recorded one
+(different topology, latencies, seeds...) and a master cannot issue an
+intent until after its recorded cycle, the source raises
+:class:`TraceReplayError` rather than silently time-shifting the trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.core.transaction import (
+    BurstType,
+    Opcode,
+    ResponseStatus,
+    Transaction,
+)
+from repro.sim.kernel import SimulationError
+from repro.sim.snapshot import Snapshottable
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TraceFormatError",
+    "TraceReplay",
+    "TraceReplayError",
+    "TraceReplaySource",
+    "TraceWriter",
+]
+
+TRACE_FORMAT_VERSION = 1
+
+_FORMAT = "repro-trace"
+
+#: Per-intent record fields, in serialization order.
+_FIELDS = ("c", "o", "a", "n", "w", "b", "d", "t", "g", "x", "p")
+
+
+class TraceFormatError(ValueError):
+    """A trace file/blob is not something this version can read."""
+
+
+class TraceReplayError(SimulationError):
+    """A replayed run diverged from the recorded one: an intent came due
+    strictly after its recorded cycle, so the replay would no longer be
+    the recorded workload."""
+
+
+def _event(txn: Transaction, cycle: int) -> dict:
+    return {
+        "c": cycle,
+        "o": txn.opcode.name,
+        "a": txn.address,
+        "n": txn.beats,
+        "w": txn.beat_bytes,
+        "b": txn.burst.name,
+        "d": None if txn.data is None else list(txn.data),
+        "t": txn.thread,
+        "g": txn.txn_tag,
+        "x": 1 if txn.excl else 0,
+        "p": txn.priority,
+    }
+
+
+def _transaction(event: dict, master: str) -> Transaction:
+    txn = Transaction(
+        opcode=Opcode[event["o"]],
+        address=event["a"],
+        beats=event["n"],
+        beat_bytes=event["w"],
+        burst=BurstType[event["b"]],
+        data=None if event["d"] is None else list(event["d"]),
+        master=master,
+        thread=event["t"],
+        txn_tag=event["g"],
+        excl=bool(event["x"]),
+        priority=event["p"],
+    )
+    return txn
+
+
+class RecordingSource(Snapshottable):
+    """Transparent wrapper: delegates the full TrafficSource protocol to
+    the wrapped source while appending every non-None poll to the
+    writer's stream.  Snapshots capture the wrapped source plus the
+    recorded count, so a restored run truncates and re-records the tail
+    instead of duplicating it."""
+
+    def __init__(self, inner, events: List[dict]) -> None:
+        self._inner = inner
+        self._events = events
+        self._has_lookahead = getattr(inner, "lookahead", None) is not None
+
+    def poll(self, cycle: int) -> Optional[Transaction]:
+        txn = self._inner.poll(cycle)
+        if txn is not None:
+            self._events.append(_event(txn, cycle))
+        return txn
+
+    def lookahead(self, cycle: int):
+        if not self._has_lookahead:
+            return ("at", cycle)  # no inner hint: poll every cycle
+        return self._inner.lookahead(cycle)
+
+    def done(self) -> bool:
+        return self._inner.done()
+
+    def notify_complete(
+        self, txn_id: int, cycle: int, status: ResponseStatus
+    ) -> None:
+        self._inner.notify_complete(txn_id, cycle, status)
+
+    def bind_master(self, master) -> None:
+        bind = getattr(self._inner, "bind_master", None)
+        if bind is not None:
+            bind(master)
+
+    def diagnose_stall(self) -> Optional[str]:
+        diagnose = getattr(self._inner, "diagnose_stall", None)
+        return diagnose() if diagnose is not None else None
+
+    def _snapshot_state(self) -> dict:
+        return {
+            "inner": self._inner.snapshot(),
+            "recorded": len(self._events),
+        }
+
+    def _restore_state(self, state) -> None:
+        self._inner.restore(state["inner"])
+        del self._events[state["recorded"]:]
+
+
+class TraceWriter:
+    """Collects one intent stream per master and serializes them."""
+
+    def __init__(self, note: str = "") -> None:
+        self.note = note
+        self._streams: Dict[str, List[dict]] = {}
+
+    def record(self, master: str, source) -> RecordingSource:
+        """Wrap ``source`` so ``master``'s intents land in this trace."""
+        if master in self._streams:
+            raise ValueError(f"master {master!r} is already being recorded")
+        events: List[dict] = []
+        self._streams[master] = events
+        return RecordingSource(source, events)
+
+    def events(self, master: str) -> List[dict]:
+        return list(self._streams[master])
+
+    def masters(self) -> List[str]:
+        return sorted(self._streams)
+
+    def to_jsonl(self) -> str:
+        header = {
+            "format": _FORMAT,
+            "version": TRACE_FORMAT_VERSION,
+            "masters": self.masters(),
+            "note": self.note,
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        for master in self.masters():
+            for event in self._streams[master]:
+                record = {"m": master}
+                record.update(event)
+                lines.append(json.dumps(record, sort_keys=True))
+        return "\n".join(lines) + "\n"
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+
+class TraceReplay:
+    """A parsed trace, handing out one replay source per master."""
+
+    def __init__(self, streams: Dict[str, List[dict]], note: str = "") -> None:
+        self._streams = streams
+        self.note = note
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TraceReplay":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise TraceFormatError("empty trace")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"unreadable trace header: {exc}") from exc
+        if not isinstance(header, dict) or header.get("format") != _FORMAT:
+            raise TraceFormatError(
+                f"not a {_FORMAT} stream (header: {header!r:.80})"
+            )
+        version = header.get("version")
+        if version != TRACE_FORMAT_VERSION:
+            raise TraceFormatError(
+                f"trace format version {version!r} is not the supported "
+                f"version {TRACE_FORMAT_VERSION}"
+            )
+        masters = header.get("masters", [])
+        streams: Dict[str, List[dict]] = {m: [] for m in masters}
+        for lineno, line in enumerate(lines[1:], start=2):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"line {lineno}: unreadable record: {exc}"
+                ) from exc
+            master = record.get("m")
+            if master not in streams:
+                raise TraceFormatError(
+                    f"line {lineno}: unknown master {master!r}; header "
+                    f"declares {masters}"
+                )
+            missing = [key for key in _FIELDS if key not in record]
+            if missing:
+                raise TraceFormatError(
+                    f"line {lineno}: record missing fields {missing}"
+                )
+            streams[master].append({key: record[key] for key in _FIELDS})
+        for stream in streams.values():
+            stream.sort(key=lambda event: event["c"])
+        return cls(streams, note=header.get("note", ""))
+
+    @classmethod
+    def load(cls, path) -> "TraceReplay":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_jsonl(handle.read())
+
+    # ------------------------------------------------------------------ #
+    def masters(self) -> List[str]:
+        return sorted(self._streams)
+
+    def events(self, master: str) -> List[dict]:
+        return list(self._streams[master])
+
+    def source(self, master: str) -> "TraceReplaySource":
+        if master not in self._streams:
+            raise TraceFormatError(
+                f"trace has no stream for master {master!r}; recorded "
+                f"masters: {self.masters()}"
+            )
+        return TraceReplaySource(master, self._streams[master])
+
+
+class TraceReplaySource(Snapshottable):
+    """Re-issues a recorded intent stream at the recorded cycles.
+
+    Transactions are constructed lazily, at poll time, so the global id
+    stream advances exactly as it did while recording.
+    """
+
+    _snapshot_fields = ("_next", "completions")
+
+    def __init__(self, master: str, events: List[dict]) -> None:
+        self.master = master
+        self._events = events
+        self._next = 0
+        self.completions: List[tuple] = []
+
+    def poll(self, cycle: int) -> Optional[Transaction]:
+        if self._next >= len(self._events):
+            return None
+        event = self._events[self._next]
+        if cycle < event["c"]:
+            return None
+        if cycle > event["c"]:
+            raise TraceReplayError(
+                f"{self.master}: intent {self._next} was recorded at cycle "
+                f"{event['c']} but the replay first polled at {cycle} — "
+                f"the replayed build diverged from the recorded one"
+            )
+        self._next += 1
+        return _transaction(event, self.master)
+
+    def lookahead(self, cycle: int):
+        if self._next >= len(self._events):
+            return None  # exhausted: dormant forever
+        return ("at", max(cycle, self._events[self._next]["c"]))
+
+    def done(self) -> bool:
+        return self._next >= len(self._events)
+
+    def notify_complete(
+        self, txn_id: int, cycle: int, status: ResponseStatus
+    ) -> None:
+        self.completions.append((txn_id, cycle, status))
