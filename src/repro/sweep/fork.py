@@ -27,12 +27,11 @@ and accepts arbitrary callables.
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.sim.fingerprint import reset_ids
 from repro.sweep.checkpoint import Checkpoint
+from repro.sweep.worker import bootstrap_soc, mp_context
 
 
 @dataclass(frozen=True)
@@ -81,8 +80,7 @@ def run_cold(
     equivalence tests and the bench's ``results_match`` flag compare
     against it.
     """
-    reset_ids()
-    soc = builder() if override.build is None else override.build()
+    soc = bootstrap_soc(builder if override.build is None else override.build)
     soc.run(fork_cycle)
     if override.apply is not None:
         override.apply(soc)
@@ -97,8 +95,7 @@ def _run_fork_task(task) -> Dict:
         # Structural override: the checkpoint is non-congruent; pay for
         # the prefix again with the alternate builder.
         return run_cold(builder, override, fork_cycle, run_cycles, collect)
-    reset_ids()
-    soc = builder()
+    soc = bootstrap_soc(builder)
     Checkpoint.from_bytes(ckpt_bytes).restore_into(soc)
     override.apply(soc)
     soc.run(run_cycles)
@@ -155,7 +152,7 @@ def fork(
         for override in overrides
     ]
     if processes and processes > 0:
-        with multiprocessing.Pool(processes) as pool:
+        with mp_context().Pool(processes) as pool:
             results: List[Dict] = pool.map(_run_fork_task, tasks)
     else:
         results = [_run_fork_task(task) for task in tasks]
